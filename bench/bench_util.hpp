@@ -1,0 +1,26 @@
+/// \file bench_util.hpp
+/// \brief Shared helpers for the table-reproduction harnesses.
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "baseline/flows.hpp"
+#include "mcnc/benchmarks.hpp"
+
+namespace hyde::benchutil {
+
+/// Formats a paper number, printing '-' for the missing entries.
+inline std::string paper_cell(int value) {
+  return value < 0 ? std::string("-") : std::to_string(value);
+}
+
+/// Runs one system over one circuit with verification and returns the result.
+inline baseline::BaselineResult run(const std::string& circuit,
+                                    baseline::System system, int k) {
+  const auto input = mcnc::make_circuit(circuit);
+  return baseline::run_system(input, system, k, /*verify_vectors=*/128);
+}
+
+}  // namespace hyde::benchutil

@@ -1,0 +1,64 @@
+/// Reproduces paper Table 2: 5-input 1-output LUT counts of the Sawada et
+/// al. [8] flows (without and with resubstitution) and HYDE.
+///
+/// The paper's third [8] column ("PO") is a stronger variant of [8] that we
+/// do not reimplement; its reported numbers are repeated for reference.
+/// Shape under reproduction: HYDE competitive with the resubstitution flow
+/// while handling the large circuits [8] could not (des, e64, rot, C499,
+/// C880 — the '-' rows).
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main() {
+  using hyde::baseline::System;
+  using hyde::benchutil::paper_cell;
+  using hyde::benchutil::run;
+
+  std::printf("Table 2: Experimental Results for 5-input 1-output LUTs\n");
+  std::printf("%-8s | %8s %8s %8s | %8s %8s %8s %8s | %s\n", "circuit",
+              "noresub*", "resub*", "HYDE", "p.nores", "p.resub", "p.PO",
+              "p.HYDE", "ok");
+  std::printf("%s\n", std::string(100, '-').c_str());
+
+  long total_noresub = 0, total_resub = 0, total_hyde = 0;
+  long common_noresub = 0, common_resub = 0, common_hyde = 0;
+  bool all_verified = true;
+  for (const auto& row : hyde::mcnc::paper_table2()) {
+    const auto noresub = run(row.circuit, System::kSawadaLike, 5);
+    const auto resub = run(row.circuit, System::kSawadaResubLike, 5);
+    const auto hyde = run(row.circuit, System::kHyde, 5);
+    const bool verified = noresub.verified && resub.verified && hyde.verified;
+    all_verified = all_verified && verified;
+    total_noresub += noresub.luts;
+    total_resub += resub.luts;
+    total_hyde += hyde.luts;
+    if (row.noresub_lut >= 0) {
+      common_noresub += noresub.luts;
+      common_resub += resub.luts;
+      common_hyde += hyde.luts;
+    }
+    std::printf("%-8s | %8d %8d %8d | %8s %8s %8s %8s | %s\n",
+                row.circuit.c_str(), noresub.luts, resub.luts, hyde.luts,
+                paper_cell(row.noresub_lut).c_str(),
+                paper_cell(row.resub_lut).c_str(),
+                paper_cell(row.po_lut).c_str(),
+                paper_cell(row.hyde_lut).c_str(), verified ? "yes" : "NO");
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", std::string(100, '-').c_str());
+  std::printf("%-8s | %8ld %8ld %8ld |   (paper totals on the same subset: "
+              "1578 / 1317 / 1311)\n",
+              "Common", common_noresub, common_resub, common_hyde);
+  std::printf("%-8s | %8ld %8ld %8ld\n", "Total", total_noresub, total_resub,
+              total_hyde);
+  std::printf("\n(* simplified reimplementations; see DESIGN.md §3. "
+              "'Common' sums rows where [8] reported numbers.)\n");
+  std::printf("\nShape check: HYDE common-total %s plain-RK common-total; "
+              "all large '-' circuits completed by HYDE: yes; "
+              "all circuits verified: %s\n",
+              common_hyde <= common_noresub ? "<=" : ">",
+              all_verified ? "yes" : "NO");
+  return all_verified ? 0 : 1;
+}

@@ -1,0 +1,154 @@
+/// hyde_cli — command-line front end for the whole flow.
+///
+///   hyde_cli [options] <circuit.blif|circuit.pla|@benchmark>
+///
+///   -k <n>        LUT input count (default 5)
+///   -s <system>   hyde | imodec | fgsyn | rk | rk-resub | all (default hyde)
+///   -o <file>     write the mapped network as BLIF (default: no output file)
+///   --pla-out <f> write the mapped network as a flattened PLA
+///   --no-verify   skip the random-vector equivalence check
+///
+/// `@name` pulls a circuit from the built-in MCNC-like suite (e.g. @9sym).
+/// PLA inputs with `-` outputs feed their don't cares into the flow.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "baseline/flows.hpp"
+#include "core/flow.hpp"
+#include "mapper/lutmap.hpp"
+#include "mapper/xc3000.hpp"
+#include "mcnc/benchmarks.hpp"
+#include "net/blif.hpp"
+#include "net/pla.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: hyde_cli [-k n] [-s hyde|imodec|fgsyn|rk|rk-resub|all] "
+               "[-o out.blif] [--pla-out out.pla] [--no-verify] "
+               "<circuit.blif|circuit.pla|@benchmark>\n");
+  return 2;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hyde;
+  int k = 5;
+  std::string system_name = "hyde";
+  std::string out_blif, out_pla, source;
+  bool verify = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-k" && i + 1 < argc) {
+      k = std::atoi(argv[++i]);
+    } else if (arg == "-s" && i + 1 < argc) {
+      system_name = argv[++i];
+    } else if (arg == "-o" && i + 1 < argc) {
+      out_blif = argv[++i];
+    } else if (arg == "--pla-out" && i + 1 < argc) {
+      out_pla = argv[++i];
+    } else if (arg == "--no-verify") {
+      verify = false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      source = arg;
+    }
+  }
+  if (source.empty() || k < 3 || k > 8) return usage();
+
+  // Load the circuit (and possible external don't cares).
+  net::Network input("empty");
+  net::Network dc("empty_dc");
+  bool has_dc = false;
+  try {
+    if (source[0] == '@') {
+      input = mcnc::make_circuit(source.substr(1));
+    } else if (ends_with(source, ".pla")) {
+      std::ifstream in(source);
+      if (!in) throw std::runtime_error("cannot open " + source);
+      net::PlaModel model = net::read_pla(in, source);
+      input = std::move(model.onset);
+      dc = std::move(model.dont_care);
+      has_dc = model.has_dont_cares;
+    } else {
+      std::ifstream in(source);
+      if (!in) throw std::runtime_error("cannot open " + source);
+      net::BlifModel model = net::read_blif_model(in);
+      input = std::move(model.network);
+      dc = std::move(model.dont_care);
+      has_dc = model.has_dont_cares;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error loading %s: %s\n", source.c_str(), e.what());
+    return 1;
+  }
+  std::printf("loaded %s%s\n", input.stats().c_str(),
+              has_dc ? " (+ external don't cares)" : "");
+
+  const std::vector<std::pair<std::string, baseline::System>> known{
+      {"hyde", baseline::System::kHyde},
+      {"imodec", baseline::System::kImodecLike},
+      {"fgsyn", baseline::System::kFgsynLike},
+      {"rk", baseline::System::kSawadaLike},
+      {"rk-resub", baseline::System::kSawadaResubLike},
+  };
+
+  net::Network best_network("none");
+  int best_luts = -1;
+  for (const auto& [name, system] : known) {
+    if (system_name != "all" && system_name != name) continue;
+    // For DC-aware runs use the core flow directly (baseline::run_system
+    // does not thread external don't cares).
+    if (has_dc && system == baseline::System::kHyde) {
+      auto flow = core::run_flow(input, core::hyde_options(k), &dc);
+      mapper::dedup_shared_nodes(flow.network);
+      mapper::collapse_into_fanouts(flow.network, k);
+      const int luts = mapper::lut_count(flow.network);
+      std::printf("%-10s %5d LUTs  depth %2d  (with external DCs; "
+                  "equivalence holds on the care set only)\n",
+                  name.c_str(), luts, mapper::network_depth(flow.network));
+      if (best_luts < 0 || luts < best_luts) {
+        best_luts = luts;
+        best_network = std::move(flow.network);
+      }
+      continue;
+    }
+    auto result = baseline::run_system(input, system, k, verify ? 256 : 0);
+    std::printf("%-10s %5d LUTs", name.c_str(), result.luts);
+    if (k == 5) std::printf("  %5d CLBs", result.clbs);
+    std::printf("  depth %2d  %.3fs  %s\n", result.depth, result.seconds,
+                !verify          ? "unverified"
+                : result.verified ? "verified"
+                                  : "VERIFY FAILED");
+    if (verify && !result.verified) return 1;
+    if (best_luts < 0 || result.luts < best_luts) {
+      best_luts = result.luts;
+      best_network = std::move(result.network);
+    }
+  }
+  if (best_luts < 0) return usage();
+
+  if (!out_blif.empty()) {
+    std::ofstream out(out_blif);
+    net::write_blif(best_network, out);
+    std::printf("wrote %s\n", out_blif.c_str());
+  }
+  if (!out_pla.empty()) {
+    std::ofstream out(out_pla);
+    net::write_pla(best_network, out);
+    std::printf("wrote %s\n", out_pla.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+/// Section 6's proposed application: time-multiplexed reconfigurable
+/// computing. Functions active in different time slots are combined into one
+/// hyper-function whose pseudo primary inputs become real *mode* inputs —
+/// one network serves all slots, and nothing is duplicated.
+
+#include <cstdio>
+
+#include "core/timemux.hpp"
+#include "mapper/lutmap.hpp"
+#include "tt/truth_table.hpp"
+
+int main() {
+  using namespace hyde;
+
+  // Three "time slot" behaviours over the same 6 data inputs: a CRC-ish
+  // parity mix, a threshold detector and a pattern matcher.
+  bdd::Manager mgr(16);
+  const std::vector<int> data_vars{0, 1, 2, 3, 4, 5};
+  const bdd::Bdd x0 = mgr.var(0), x1 = mgr.var(1), x2 = mgr.var(2),
+                 x3 = mgr.var(3), x4 = mgr.var(4), x5 = mgr.var(5);
+  const std::vector<decomp::IsfBdd> slots{
+      decomp::IsfBdd{x0 ^ x2 ^ (x3 & x5) ^ x4, mgr.zero()},
+      decomp::IsfBdd{mgr.from_truth_table(tt::TruthTable::symmetric(6, {4, 5, 6})),
+                     mgr.zero()},
+      decomp::IsfBdd{(x0 & ~x1 & x2) | (~x3 & x4 & ~x5), mgr.zero()},
+  };
+
+  const auto tmux = core::build_time_multiplexed(
+      mgr, slots, data_vars, {"d0", "d1", "d2", "d3", "d4", "d5"},
+      core::hyde_options(5));
+  std::printf("time slots encoded as modes:");
+  for (std::size_t i = 0; i < tmux.slot_codes.size(); ++i) {
+    std::printf(" slot%zu=%u", i, tmux.slot_codes[i]);
+  }
+  std::printf(" (%d mode bits; the unused 4th word is a don't care)\n",
+              tmux.num_mode_bits);
+
+  net::Network network = std::move(const_cast<core::TimeMultiplexed&>(tmux).network);
+  mapper::dedup_shared_nodes(network);
+  mapper::collapse_into_fanouts(network, 5);
+  std::printf("mapped time-multiplexed network: %d LUTs, depth %d, "
+              "%zu inputs (6 data + %d mode)\n",
+              mapper::lut_count(network), mapper::network_depth(network),
+              network.inputs().size(), tmux.num_mode_bits);
+
+  // Cross-check every slot against its specification.
+  for (std::size_t slot = 0; slot < slots.size(); ++slot) {
+    const std::uint32_t code = tmux.slot_codes[slot];
+    for (std::uint64_t m = 0; m < 64; ++m) {
+      std::vector<bool> assign(8);
+      for (int i = 0; i < 6; ++i) assign[static_cast<std::size_t>(i)] = ((m >> i) & 1) != 0;
+      assign[6] = (code & 1) != 0;
+      assign[7] = (code & 2) != 0;
+      std::vector<bool> data_assign(static_cast<std::size_t>(mgr.num_vars()), false);
+      for (int i = 0; i < 6; ++i) data_assign[static_cast<std::size_t>(i)] = assign[static_cast<std::size_t>(i)];
+      const bool expected = mgr.eval(slots[slot].on, data_assign);
+      if (network.eval(assign)[0] != expected) {
+        std::printf("slot %zu MISMATCH at %llu\n", slot,
+                    static_cast<unsigned long long>(m));
+        return 1;
+      }
+    }
+    std::printf("slot %zu verified over all 64 data vectors\n", slot);
+  }
+  std::printf("\nCompare with duplication-based recovery: 3 separate cones "
+              "vs 1 shared network + %d mode wires.\n", tmux.num_mode_bits);
+  return 0;
+}

@@ -1,0 +1,80 @@
+#include "baseline/flows.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "net/verify.hpp"
+
+namespace hyde::baseline {
+
+std::string system_name(System system) {
+  switch (system) {
+    case System::kHyde:
+      return "HYDE";
+    case System::kImodecLike:
+      return "IMODEC-like";
+    case System::kFgsynLike:
+      return "FGSyn-like";
+    case System::kSawadaLike:
+      return "RK-noresub";
+    case System::kSawadaResubLike:
+      return "RK-resub";
+  }
+  return "?";
+}
+
+BaselineResult run_system(const net::Network& input, System system, int k,
+                          int verify_vectors, std::uint64_t seed) {
+  core::FlowOptions options;
+  switch (system) {
+    case System::kHyde:
+      options = core::hyde_options(k);
+      break;
+    case System::kImodecLike:
+      options = core::imodec_like_options(k);
+      break;
+    case System::kFgsynLike:
+      options = core::fgsyn_like_options(k);
+      break;
+    case System::kSawadaLike:
+    case System::kSawadaResubLike:
+      options = core::sawada_like_options(k);
+      break;
+  }
+  options.seed = seed;
+
+  const auto start = std::chrono::steady_clock::now();
+  core::FlowResult flow = core::run_flow(input, options);
+  mapper::dedup_shared_nodes(flow.network);
+  mapper::collapse_into_fanouts(flow.network, k);
+  if (system == System::kSawadaResubLike) {
+    mapper::resubstitute(flow.network);
+    mapper::dedup_shared_nodes(flow.network);
+    mapper::collapse_into_fanouts(flow.network, k);
+  }
+  mapper::dedup_shared_nodes(flow.network);
+  const auto stop = std::chrono::steady_clock::now();
+
+  BaselineResult result;
+  result.stats = flow.stats;
+  result.luts = mapper::lut_count(flow.network);
+  result.depth = mapper::network_depth(flow.network);
+  if (k == 5) {
+    result.clbs = mapper::pack_xc3000(flow.network).num_clbs;
+  }
+  result.seconds =
+      std::chrono::duration<double>(stop - start).count();
+  if (verify_vectors <= 0) {
+    result.verified = true;
+  } else {
+    net::EquivalenceOptions eq_options;
+    eq_options.random_vectors = verify_vectors;
+    eq_options.seed = seed * 7919 + 17;
+    result.verified =
+        net::check_equivalence(input, flow.network, eq_options).equivalent;
+  }
+  result.network = std::move(flow.network);
+  return result;
+}
+
+}  // namespace hyde::baseline

@@ -1,0 +1,45 @@
+/// \file flows.hpp
+/// \brief Complete benchmark flows: HYDE and the simplified reimplementations
+/// of the three published systems the paper compares against (IMODEC [5],
+/// FGSyn [4], Sawada et al. [8]). Each flow = decomposition (core) + cleanup
+/// and mapping (mapper), timed, with a built-in random-vector equivalence
+/// check against the source network.
+
+#pragma once
+
+#include <string>
+
+#include "core/flow.hpp"
+#include "mapper/lutmap.hpp"
+#include "mapper/xc3000.hpp"
+
+namespace hyde::baseline {
+
+struct BaselineResult {
+  net::Network network;       ///< the mapped k-feasible network
+  int luts = 0;               ///< 5-input LUT count (Table 2 metric)
+  int clbs = 0;               ///< XC3000 CLB count (Table 1 metric; k=5 only)
+  int depth = 0;              ///< LUT levels
+  double seconds = 0.0;       ///< wall-clock flow time
+  bool verified = false;      ///< random-vector equivalence check passed
+  core::FlowStats stats;
+};
+
+/// Which system a flow models.
+enum class System {
+  kHyde,        ///< the paper's algorithm
+  kImodecLike,  ///< [5]: per-output, rigid random encoding, DC merging
+  kFgsynLike,   ///< [4]: hyper-sharing with PPIs pinned to the free set
+  kSawadaLike,  ///< [8] without resubstitution
+  kSawadaResubLike,  ///< [8] with resubstitution (support minimization)
+};
+
+/// Human-readable system name for reports.
+std::string system_name(System system);
+
+/// Runs the full flow for \p system over \p input with k-input LUTs.
+/// \p verify_vectors random input vectors are checked (0 disables).
+BaselineResult run_system(const net::Network& input, System system, int k,
+                          int verify_vectors = 256, std::uint64_t seed = 1);
+
+}  // namespace hyde::baseline

@@ -1,0 +1,619 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+
+namespace hyde::bdd {
+
+namespace {
+constexpr std::uint32_t kZero = 0;
+constexpr std::uint32_t kOne = 1;
+constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+std::size_t triple_hash(std::int32_t var, std::uint32_t lo, std::uint32_t hi) {
+  std::uint64_t h = static_cast<std::uint32_t>(var);
+  h = h * 0x9E3779B97F4A7C15ull + lo;
+  h ^= h >> 29;
+  h = h * 0xBF58476D1CE4E5B9ull + hi;
+  h ^= h >> 32;
+  return static_cast<std::size_t>(h);
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Bdd handle
+// ---------------------------------------------------------------------------
+
+Bdd::Bdd(Manager* mgr, std::uint32_t id) : mgr_(mgr), id_(id) {
+  if (mgr_ != nullptr) mgr_->inc_ref(id_);
+}
+
+Bdd::Bdd(const Bdd& other) : mgr_(other.mgr_), id_(other.id_) {
+  if (mgr_ != nullptr) mgr_->inc_ref(id_);
+}
+
+Bdd::Bdd(Bdd&& other) noexcept : mgr_(other.mgr_), id_(other.id_) {
+  other.mgr_ = nullptr;
+  other.id_ = 0;
+}
+
+Bdd& Bdd::operator=(const Bdd& other) {
+  if (this == &other) return *this;
+  if (other.mgr_ != nullptr) other.mgr_->inc_ref(other.id_);
+  if (mgr_ != nullptr) mgr_->dec_ref(id_);
+  mgr_ = other.mgr_;
+  id_ = other.id_;
+  return *this;
+}
+
+Bdd& Bdd::operator=(Bdd&& other) noexcept {
+  if (this == &other) return *this;
+  if (mgr_ != nullptr) mgr_->dec_ref(id_);
+  mgr_ = other.mgr_;
+  id_ = other.id_;
+  other.mgr_ = nullptr;
+  other.id_ = 0;
+  return *this;
+}
+
+Bdd::~Bdd() {
+  if (mgr_ != nullptr) mgr_->dec_ref(id_);
+}
+
+bool Bdd::is_zero() const { return mgr_ != nullptr && id_ == kZero; }
+bool Bdd::is_one() const { return mgr_ != nullptr && id_ == kOne; }
+
+int Bdd::top_var() const {
+  if (!is_valid() || id_ <= kOne) {
+    throw std::logic_error("Bdd::top_var on constant or null BDD");
+  }
+  return mgr_->nodes_[id_].var;
+}
+
+Bdd Bdd::low() const {
+  if (!is_valid() || id_ <= kOne) {
+    throw std::logic_error("Bdd::low on constant or null BDD");
+  }
+  return Bdd(mgr_, mgr_->nodes_[id_].lo);
+}
+
+Bdd Bdd::high() const {
+  if (!is_valid() || id_ <= kOne) {
+    throw std::logic_error("Bdd::high on constant or null BDD");
+  }
+  return Bdd(mgr_, mgr_->nodes_[id_].hi);
+}
+
+Bdd Bdd::operator&(const Bdd& rhs) const { return mgr_->bdd_and(*this, rhs); }
+Bdd Bdd::operator|(const Bdd& rhs) const { return mgr_->bdd_or(*this, rhs); }
+Bdd Bdd::operator^(const Bdd& rhs) const { return mgr_->bdd_xor(*this, rhs); }
+Bdd Bdd::operator~() const { return mgr_->bdd_not(*this); }
+bool Bdd::implies(const Bdd& rhs) const { return mgr_->implies(*this, rhs); }
+
+// ---------------------------------------------------------------------------
+// Manager: construction, node store, unique table, reference counting, GC
+// ---------------------------------------------------------------------------
+
+Manager::Manager(int num_vars) : num_vars_(num_vars) {
+  nodes_.reserve(1024);
+  nodes_.push_back(Node{-1, kZero, kZero, kNil, 1});  // constant 0
+  nodes_.push_back(Node{-1, kOne, kOne, kNil, 1});    // constant 1
+  rehash_unique(1024);
+}
+
+Manager::~Manager() = default;
+
+void Manager::ensure_vars(int num_vars) {
+  num_vars_ = std::max(num_vars_, num_vars);
+}
+
+Bdd Manager::make_external(std::uint32_t id) { return Bdd(this, id); }
+
+void Manager::inc_ref(std::uint32_t id) { ++nodes_[id].ext_refs; }
+
+void Manager::dec_ref(std::uint32_t id) {
+  if (nodes_[id].ext_refs == 0) {
+    throw std::logic_error("BDD reference count underflow");
+  }
+  --nodes_[id].ext_refs;
+}
+
+std::uint32_t Manager::unique_lookup(std::int32_t var, std::uint32_t lo,
+                                     std::uint32_t hi) {
+  const std::size_t bucket =
+      triple_hash(var, lo, hi) & (unique_buckets_.size() - 1);
+  for (std::uint32_t id = unique_buckets_[bucket]; id != kNil;
+       id = nodes_[id].next) {
+    const Node& n = nodes_[id];
+    if (n.var == var && n.lo == lo && n.hi == hi) return id;
+  }
+  return kNil;
+}
+
+void Manager::unique_insert(std::uint32_t id) {
+  const Node& n = nodes_[id];
+  const std::size_t bucket =
+      triple_hash(n.var, n.lo, n.hi) & (unique_buckets_.size() - 1);
+  nodes_[id].next = unique_buckets_[bucket];
+  unique_buckets_[bucket] = id;
+}
+
+void Manager::rehash_unique(std::size_t new_bucket_count) {
+  unique_buckets_.assign(new_bucket_count, kNil);
+  for (std::uint32_t id = 2; id < nodes_.size(); ++id) {
+    if (nodes_[id].var >= 0) unique_insert(id);
+  }
+}
+
+std::uint32_t Manager::make_node(std::int32_t var, std::uint32_t lo,
+                                 std::uint32_t hi) {
+  if (lo == hi) return lo;  // reduction rule
+  std::uint32_t id = unique_lookup(var, lo, hi);
+  if (id != kNil) return id;
+  if (node_limit_ != 0 && nodes_.size() - free_list_.size() >= node_limit_) {
+    throw std::length_error("BDD manager node limit exceeded");
+  }
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+    nodes_[id] = Node{var, lo, hi, kNil, 0};
+  } else {
+    id = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.push_back(Node{var, lo, hi, kNil, 0});
+  }
+  unique_insert(id);
+  const std::size_t live = nodes_.size() - free_list_.size();
+  if (live * 2 > unique_buckets_.size()) {
+    rehash_unique(unique_buckets_.size() * 2);
+  }
+  return id;
+}
+
+void Manager::collect_garbage() {
+  ++gc_runs_;
+  std::vector<char> marked(nodes_.size(), 0);
+  marked[kZero] = marked[kOne] = 1;
+  std::vector<std::uint32_t> stack;
+  for (std::uint32_t id = 2; id < nodes_.size(); ++id) {
+    if (nodes_[id].var >= 0 && nodes_[id].ext_refs > 0) stack.push_back(id);
+  }
+  while (!stack.empty()) {
+    const std::uint32_t id = stack.back();
+    stack.pop_back();
+    if (marked[id]) continue;
+    marked[id] = 1;
+    const Node& n = nodes_[id];
+    if (!marked[n.lo]) stack.push_back(n.lo);
+    if (!marked[n.hi]) stack.push_back(n.hi);
+  }
+  free_list_.clear();
+  for (std::uint32_t id = 2; id < nodes_.size(); ++id) {
+    if (!marked[id]) {
+      nodes_[id].var = -2;  // dead
+      free_list_.push_back(id);
+    }
+  }
+  ite_cache_.clear();
+  rehash_unique(unique_buckets_.size());
+}
+
+void Manager::maybe_gc() {
+  const std::size_t live = nodes_.size() - free_list_.size();
+  if (live <= gc_threshold_) return;
+  collect_garbage();
+  const std::size_t after = nodes_.size() - free_list_.size();
+  if (after * 4 > gc_threshold_ * 3) gc_threshold_ *= 2;
+}
+
+std::size_t Manager::live_node_count() const {
+  std::size_t live = 0;
+  for (std::uint32_t id = 2; id < nodes_.size(); ++id) {
+    if (nodes_[id].var >= 0) ++live;
+  }
+  return live;
+}
+
+// ---------------------------------------------------------------------------
+// Core operations
+// ---------------------------------------------------------------------------
+
+Bdd Manager::var(int index) {
+  if (index < 0 || index >= num_vars_) {
+    throw std::invalid_argument("Manager::var: variable index out of range");
+  }
+  return make_external(make_node(index, kZero, kOne));
+}
+
+Bdd Manager::nvar(int index) {
+  if (index < 0 || index >= num_vars_) {
+    throw std::invalid_argument("Manager::nvar: variable index out of range");
+  }
+  return make_external(make_node(index, kOne, kZero));
+}
+
+std::uint32_t Manager::ite_rec(std::uint32_t f, std::uint32_t g,
+                               std::uint32_t h) {
+  // Terminal cases.
+  if (f == kOne) return g;
+  if (f == kZero) return h;
+  if (g == h) return g;
+  if (g == kOne && h == kZero) return f;
+
+  const CacheKey key{(static_cast<std::uint64_t>(f) << 32) | g,
+                     static_cast<std::uint64_t>(h)};
+  if (auto it = ite_cache_.find(key); it != ite_cache_.end()) {
+    return it->second;
+  }
+
+  auto var_of = [this](std::uint32_t id) {
+    return id <= kOne ? INT32_MAX : nodes_[id].var;
+  };
+  const std::int32_t top = std::min({var_of(f), var_of(g), var_of(h)});
+  auto cof = [this, top](std::uint32_t id, bool hi) {
+    if (id <= kOne || nodes_[id].var != top) return id;
+    return hi ? nodes_[id].hi : nodes_[id].lo;
+  };
+  const std::uint32_t lo = ite_rec(cof(f, false), cof(g, false), cof(h, false));
+  const std::uint32_t hi = ite_rec(cof(f, true), cof(g, true), cof(h, true));
+  const std::uint32_t result = make_node(top, lo, hi);
+  ite_cache_.emplace(key, result);
+  return result;
+}
+
+void Manager::check_owned(const Bdd& f) const {
+  if (f.mgr_ != this) {
+    throw std::invalid_argument("Bdd handle belongs to a different manager");
+  }
+}
+
+Bdd Manager::ite(const Bdd& f, const Bdd& g, const Bdd& h) {
+  check_owned(f);
+  check_owned(g);
+  check_owned(h);
+  maybe_gc();
+  return make_external(ite_rec(f.id_, g.id_, h.id_));
+}
+
+Bdd Manager::bdd_xor(const Bdd& f, const Bdd& g) {
+  return ite(f, bdd_not(g), g);
+}
+
+bool Manager::disjoint_rec(std::uint32_t f, std::uint32_t g,
+                           std::unordered_map<std::uint64_t, bool>& memo) {
+  if (f == kZero || g == kZero) return true;
+  if (f == kOne && g == kOne) return false;
+  if (f == kOne) return g == kZero;
+  if (g == kOne) return f == kZero;
+  if (f == g) return false;  // nonconstant node has a satisfying assignment
+  const std::uint64_t key = (static_cast<std::uint64_t>(std::min(f, g)) << 32) |
+                            std::max(f, g);
+  if (auto it = memo.find(key); it != memo.end()) return it->second;
+  const std::int32_t fv = nodes_[f].var;
+  const std::int32_t gv = nodes_[g].var;
+  const std::int32_t top = std::min(fv, gv);
+  const std::uint32_t f0 = fv == top ? nodes_[f].lo : f;
+  const std::uint32_t f1 = fv == top ? nodes_[f].hi : f;
+  const std::uint32_t g0 = gv == top ? nodes_[g].lo : g;
+  const std::uint32_t g1 = gv == top ? nodes_[g].hi : g;
+  const bool result = disjoint_rec(f0, g0, memo) && disjoint_rec(f1, g1, memo);
+  memo.emplace(key, result);
+  return result;
+}
+
+bool Manager::disjoint(const Bdd& f, const Bdd& g) {
+  check_owned(f);
+  check_owned(g);
+  std::unordered_map<std::uint64_t, bool> memo;
+  return disjoint_rec(f.id_, g.id_, memo);
+}
+
+std::uint32_t Manager::cofactor_rec(
+    std::uint32_t f, int var, bool value,
+    std::unordered_map<std::uint32_t, std::uint32_t>& memo) {
+  if (f <= kOne) return f;
+  // Copy fields: make_node below can reallocate the node store.
+  const std::int32_t n_var = nodes_[f].var;
+  const std::uint32_t n_lo = nodes_[f].lo;
+  const std::uint32_t n_hi = nodes_[f].hi;
+  if (n_var > var) return f;
+  if (n_var == var) return value ? n_hi : n_lo;
+  if (auto it = memo.find(f); it != memo.end()) return it->second;
+  const std::uint32_t lo = cofactor_rec(n_lo, var, value, memo);
+  const std::uint32_t hi = cofactor_rec(n_hi, var, value, memo);
+  const std::uint32_t result = make_node(n_var, lo, hi);
+  memo.emplace(f, result);
+  return result;
+}
+
+Bdd Manager::cofactor(const Bdd& f, int var, bool value) {
+  check_owned(f);
+  maybe_gc();
+  std::unordered_map<std::uint32_t, std::uint32_t> memo;
+  return make_external(cofactor_rec(f.id_, var, value, memo));
+}
+
+Bdd Manager::cofactor_cube(const Bdd& f,
+                           const std::vector<std::pair<int, bool>>& cube) {
+  Bdd result = f;
+  for (const auto& [var, value] : cube) {
+    result = cofactor(result, var, value);
+  }
+  return result;
+}
+
+std::uint32_t Manager::quantify_rec(
+    std::uint32_t f, const std::vector<char>& mask, bool existential,
+    std::unordered_map<std::uint32_t, std::uint32_t>& memo) {
+  if (f <= kOne) return f;
+  // Copy fields: make_node/ite_rec below can reallocate the node store.
+  const std::int32_t n_var = nodes_[f].var;
+  const std::uint32_t n_lo = nodes_[f].lo;
+  const std::uint32_t n_hi = nodes_[f].hi;
+  if (auto it = memo.find(f); it != memo.end()) return it->second;
+  const std::uint32_t lo = quantify_rec(n_lo, mask, existential, memo);
+  const std::uint32_t hi = quantify_rec(n_hi, mask, existential, memo);
+  std::uint32_t result;
+  if (static_cast<std::size_t>(n_var) < mask.size() && mask[n_var]) {
+    result = existential ? ite_rec(lo, kOne, hi) : ite_rec(lo, hi, kZero);
+  } else {
+    result = make_node(n_var, lo, hi);
+  }
+  memo.emplace(f, result);
+  return result;
+}
+
+Bdd Manager::exists(const Bdd& f, const std::vector<int>& vars) {
+  check_owned(f);
+  maybe_gc();
+  std::vector<char> mask(num_vars_, 0);
+  for (int v : vars) mask[v] = 1;
+  std::unordered_map<std::uint32_t, std::uint32_t> memo;
+  return make_external(quantify_rec(f.id_, mask, /*existential=*/true, memo));
+}
+
+Bdd Manager::forall(const Bdd& f, const std::vector<int>& vars) {
+  check_owned(f);
+  maybe_gc();
+  std::vector<char> mask(num_vars_, 0);
+  for (int v : vars) mask[v] = 1;
+  std::unordered_map<std::uint32_t, std::uint32_t> memo;
+  return make_external(quantify_rec(f.id_, mask, /*existential=*/false, memo));
+}
+
+std::uint32_t Manager::compose_rec(
+    std::uint32_t f, const std::vector<std::int64_t>& map,
+    std::unordered_map<std::uint32_t, std::uint32_t>& memo) {
+  if (f <= kOne) return f;
+  if (auto it = memo.find(f); it != memo.end()) return it->second;
+  // Copy fields: make_node/ite_rec below can reallocate the node store.
+  const std::int32_t n_var = nodes_[f].var;
+  const std::uint32_t n_lo = nodes_[f].lo;
+  const std::uint32_t n_hi = nodes_[f].hi;
+  const std::uint32_t lo = compose_rec(n_lo, map, memo);
+  const std::uint32_t hi = compose_rec(n_hi, map, memo);
+  std::uint32_t sub;
+  if (static_cast<std::size_t>(n_var) < map.size() && map[n_var] >= 0) {
+    sub = static_cast<std::uint32_t>(map[n_var]);
+  } else {
+    sub = make_node(n_var, kZero, kOne);
+  }
+  const std::uint32_t result = ite_rec(sub, hi, lo);
+  memo.emplace(f, result);
+  return result;
+}
+
+Bdd Manager::compose(const Bdd& f, int var, const Bdd& g) {
+  check_owned(f);
+  check_owned(g);
+  maybe_gc();
+  std::vector<std::int64_t> map(num_vars_, -1);
+  map[var] = g.id_;
+  std::unordered_map<std::uint32_t, std::uint32_t> memo;
+  return make_external(compose_rec(f.id_, map, memo));
+}
+
+Bdd Manager::vector_compose(
+    const Bdd& f, const std::unordered_map<int, Bdd, std::hash<int>>& map) {
+  maybe_gc();
+  std::vector<std::int64_t> raw(num_vars_, -1);
+  for (const auto& [var, g] : map) raw[var] = g.id_;
+  std::unordered_map<std::uint32_t, std::uint32_t> memo;
+  return make_external(compose_rec(f.id_, raw, memo));
+}
+
+Bdd Manager::permute(const Bdd& f, const std::vector<int>& perm) {
+  check_owned(f);
+  maybe_gc();
+  std::vector<std::int64_t> map(num_vars_, -1);
+  for (std::size_t v = 0; v < perm.size(); ++v) {
+    if (perm[v] >= 0 && perm[v] != static_cast<int>(v)) {
+      map[v] = make_node(perm[v], kZero, kOne);
+    }
+  }
+  std::unordered_map<std::uint32_t, std::uint32_t> memo;
+  return make_external(compose_rec(f.id_, map, memo));
+}
+
+void Manager::support_rec(std::uint32_t f, std::vector<char>& seen,
+                          std::vector<char>& visited) {
+  if (f <= kOne || visited[f]) return;
+  visited[f] = 1;
+  const Node& n = nodes_[f];
+  seen[n.var] = 1;
+  support_rec(n.lo, seen, visited);
+  support_rec(n.hi, seen, visited);
+}
+
+std::vector<int> Manager::support(const Bdd& f) {
+  check_owned(f);
+  std::vector<char> seen(num_vars_, 0);
+  std::vector<char> visited(nodes_.size(), 0);
+  support_rec(f.id_, seen, visited);
+  std::vector<int> vars;
+  for (int v = 0; v < num_vars_; ++v) {
+    if (seen[v]) vars.push_back(v);
+  }
+  return vars;
+}
+
+double Manager::sat_count_rec(std::uint32_t f,
+                              std::unordered_map<std::uint32_t, double>& memo) {
+  // Returns the fraction of the full input space satisfying f.
+  if (f == kZero) return 0.0;
+  if (f == kOne) return 1.0;
+  if (auto it = memo.find(f); it != memo.end()) return it->second;
+  const Node& n = nodes_[f];
+  const double p = 0.5 * (sat_count_rec(n.lo, memo) + sat_count_rec(n.hi, memo));
+  memo.emplace(f, p);
+  return p;
+}
+
+double Manager::sat_count(const Bdd& f, int num_vars) {
+  std::unordered_map<std::uint32_t, double> memo;
+  const double fraction = sat_count_rec(f.id_, memo);
+  return fraction * std::pow(2.0, num_vars);
+}
+
+bool Manager::pick_one_minterm(const Bdd& f,
+                               std::vector<std::pair<int, bool>>* out) {
+  out->clear();
+  std::uint32_t cur = f.id_;
+  if (cur == kZero) return false;
+  while (cur > kOne) {
+    const Node& n = nodes_[cur];
+    if (n.lo != kZero) {
+      out->emplace_back(n.var, false);
+      cur = n.lo;
+    } else {
+      out->emplace_back(n.var, true);
+      cur = n.hi;
+    }
+  }
+  return true;
+}
+
+std::size_t Manager::node_count(const Bdd& f) {
+  std::vector<char> visited(nodes_.size(), 0);
+  std::vector<std::uint32_t> stack{f.id_};
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const std::uint32_t id = stack.back();
+    stack.pop_back();
+    if (id <= kOne || visited[id]) continue;
+    visited[id] = 1;
+    ++count;
+    stack.push_back(nodes_[id].lo);
+    stack.push_back(nodes_[id].hi);
+  }
+  return count;
+}
+
+double Manager::one_path_count(const Bdd& f) {
+  check_owned(f);
+  std::unordered_map<std::uint32_t, double> memo;
+  std::function<double(std::uint32_t)> rec = [&](std::uint32_t id) -> double {
+    if (id == kZero) return 0.0;
+    if (id == kOne) return 1.0;
+    if (auto it = memo.find(id); it != memo.end()) return it->second;
+    const double total = rec(nodes_[id].lo) + rec(nodes_[id].hi);
+    memo.emplace(id, total);
+    return total;
+  };
+  return rec(f.id_);
+}
+
+// ---------------------------------------------------------------------------
+// Truth-table bridge and evaluation
+// ---------------------------------------------------------------------------
+
+Bdd Manager::from_truth_table(const tt::TruthTable& table,
+                              const std::vector<int>& var_map) {
+  maybe_gc();
+  const int n = table.num_vars();
+  std::vector<int> map(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    map[static_cast<std::size_t>(i)] =
+        var_map.empty() ? i : var_map[static_cast<std::size_t>(i)];
+  }
+  ensure_vars(n == 0 ? 0 : 1 + *std::max_element(map.begin(), map.end()));
+  // Table variables sorted by descending manager index: the recursion builds
+  // bottom variables first so that the final branch is on the topmost
+  // (smallest) manager variable.
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&map](int a, int b) {
+    return map[static_cast<std::size_t>(a)] < map[static_cast<std::size_t>(b)];
+  });
+
+  std::function<std::uint32_t(int, std::uint64_t)> rec =
+      [&](int depth, std::uint64_t offset) -> std::uint32_t {
+    if (depth == n) return table.bit(offset) ? kOne : kZero;
+    const int tv = order[static_cast<std::size_t>(depth)];
+    const std::uint32_t lo = rec(depth + 1, offset);
+    const std::uint32_t hi = rec(depth + 1, offset | (std::uint64_t{1} << tv));
+    return make_node(map[static_cast<std::size_t>(tv)], lo, hi);
+  };
+  return make_external(rec(0, 0));
+}
+
+tt::TruthTable Manager::to_truth_table(const Bdd& f,
+                                       const std::vector<int>& vars) {
+  const int n = static_cast<int>(vars.size());
+  if (n > tt::TruthTable::kMaxVars) {
+    throw std::invalid_argument("to_truth_table: too many variables");
+  }
+  std::vector<int> level_of(num_vars_, -1);
+  for (int i = 0; i < n; ++i) level_of[vars[static_cast<std::size_t>(i)]] = i;
+  tt::TruthTable result(n);
+  for (std::uint64_t m = 0; m < result.size(); ++m) {
+    std::uint32_t cur = f.id_;
+    while (cur > kOne) {
+      const Node& node = nodes_[cur];
+      const int level = level_of[node.var];
+      if (level < 0) {
+        throw std::invalid_argument(
+            "to_truth_table: function depends on a variable outside vars");
+      }
+      cur = ((m >> level) & 1) ? node.hi : node.lo;
+    }
+    if (cur == kOne) result.set_bit(m, true);
+  }
+  return result;
+}
+
+bool Manager::eval(const Bdd& f, const std::vector<bool>& assignment) {
+  std::uint32_t cur = f.id_;
+  while (cur > kOne) {
+    const Node& node = nodes_[cur];
+    cur = assignment[static_cast<std::size_t>(node.var)] ? node.hi : node.lo;
+  }
+  return cur == kOne;
+}
+
+std::string Manager::to_dot(const Bdd& f, const std::string& name) {
+  std::ostringstream os;
+  os << "digraph \"" << name << "\" {\n";
+  std::vector<char> visited(nodes_.size(), 0);
+  std::vector<std::uint32_t> stack{f.id_};
+  os << "  n0 [shape=box,label=\"0\"];\n  n1 [shape=box,label=\"1\"];\n";
+  while (!stack.empty()) {
+    const std::uint32_t id = stack.back();
+    stack.pop_back();
+    if (id <= kOne || visited[id]) continue;
+    visited[id] = 1;
+    const Node& n = nodes_[id];
+    os << "  n" << id << " [label=\"x" << n.var << "\"];\n";
+    os << "  n" << id << " -> n" << n.lo << " [style=dashed];\n";
+    os << "  n" << id << " -> n" << n.hi << ";\n";
+    stack.push_back(n.lo);
+    stack.push_back(n.hi);
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace hyde::bdd

@@ -1,0 +1,246 @@
+/// \file bdd.hpp
+/// \brief A from-scratch ROBDD package (the paper's CUDD/SIS substrate).
+///
+/// Reduced Ordered Binary Decision Diagrams without complement edges, with a
+/// unique table (structural hashing), a computed table (operation cache),
+/// external reference counting through the RAII `Bdd` handle, and
+/// mark-and-sweep garbage collection.
+///
+/// The variable order is the identity order over the manager's variable
+/// indices (variable 0 at the top). Everything the decomposition engine needs
+/// is provided: ITE/apply, cofactors, quantification, composition, variable
+/// permutation, support, satisfy-count, and conversion to/from
+/// `hyde::tt::TruthTable`.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tt/truth_table.hpp"
+
+namespace hyde::bdd {
+
+class Manager;
+
+/// RAII handle to a BDD node. Copying/destroying maintains the manager's
+/// external reference counts, so any node reachable from a live `Bdd` is
+/// protected from garbage collection.
+class Bdd {
+ public:
+  Bdd() = default;
+  Bdd(const Bdd& other);
+  Bdd(Bdd&& other) noexcept;
+  Bdd& operator=(const Bdd& other);
+  Bdd& operator=(Bdd&& other) noexcept;
+  ~Bdd();
+
+  /// True iff the handle points at a node (a default-constructed Bdd is null).
+  bool is_valid() const { return mgr_ != nullptr; }
+  Manager* manager() const { return mgr_; }
+
+  /// Structural equality — canonical ROBDDs make this functional equality.
+  bool operator==(const Bdd& rhs) const {
+    return mgr_ == rhs.mgr_ && id_ == rhs.id_;
+  }
+
+  bool is_zero() const;
+  bool is_one() const;
+  bool is_constant() const { return is_zero() || is_one(); }
+
+  /// Top variable index; must not be constant.
+  int top_var() const;
+  /// Low (var=0) child; must not be constant.
+  Bdd low() const;
+  /// High (var=1) child; must not be constant.
+  Bdd high() const;
+
+  /// Raw node index inside the manager; stable until a GC happens only in the
+  /// sense that live handles keep it alive. Useful as a hash/dictionary key
+  /// while the handle is held.
+  std::uint32_t id() const { return id_; }
+
+  // Convenience operator forms of Manager operations (see Manager).
+  Bdd operator&(const Bdd& rhs) const;
+  Bdd operator|(const Bdd& rhs) const;
+  Bdd operator^(const Bdd& rhs) const;
+  Bdd operator~() const;
+  bool implies(const Bdd& rhs) const;
+
+ private:
+  friend class Manager;
+  Bdd(Manager* mgr, std::uint32_t id);
+
+  Manager* mgr_ = nullptr;
+  std::uint32_t id_ = 0;
+};
+
+/// Hash functor for using Bdd as an unordered_map key.
+struct BddHash {
+  std::size_t operator()(const Bdd& b) const {
+    return std::hash<std::uint32_t>()(b.id());
+  }
+};
+
+/// The BDD manager: owns the node store, unique table and computed table.
+///
+/// Node 0 is the constant 0 and node 1 the constant 1. The manager supports a
+/// fixed maximum variable count chosen at construction, which may be grown
+/// with `ensure_vars`.
+class Manager {
+ public:
+  explicit Manager(int num_vars = 64);
+  Manager(const Manager&) = delete;
+  Manager& operator=(const Manager&) = delete;
+  ~Manager();
+
+  int num_vars() const { return num_vars_; }
+  /// Grows the variable space to at least \p num_vars.
+  void ensure_vars(int num_vars);
+
+  Bdd zero() { return make_external(0); }
+  Bdd one() { return make_external(1); }
+  Bdd constant(bool value) { return value ? one() : zero(); }
+  /// The single-variable function x_{index}.
+  Bdd var(int index);
+  /// The complemented variable !x_{index}.
+  Bdd nvar(int index);
+
+  Bdd bdd_and(const Bdd& f, const Bdd& g) { return ite(f, g, zero()); }
+  Bdd bdd_or(const Bdd& f, const Bdd& g) { return ite(f, one(), g); }
+  Bdd bdd_xor(const Bdd& f, const Bdd& g);
+  Bdd bdd_not(const Bdd& f) { return ite(f, zero(), one()); }
+  /// If-then-else: f ? g : h. The workhorse of the package.
+  Bdd ite(const Bdd& f, const Bdd& g, const Bdd& h);
+
+  /// True iff f & g == 0, computed without building the conjunction.
+  bool disjoint(const Bdd& f, const Bdd& g);
+  /// True iff f implies g pointwise.
+  bool implies(const Bdd& f, const Bdd& g) { return disjoint(f, bdd_not(g)); }
+
+  /// Cofactor w.r.t. a single variable assignment.
+  Bdd cofactor(const Bdd& f, int var, bool value);
+  /// Cofactor w.r.t. a set of variable assignments (cube given as pairs).
+  Bdd cofactor_cube(const Bdd& f, const std::vector<std::pair<int, bool>>& cube);
+
+  /// Existential quantification over the given variables.
+  Bdd exists(const Bdd& f, const std::vector<int>& vars);
+  /// Universal quantification over the given variables.
+  Bdd forall(const Bdd& f, const std::vector<int>& vars);
+
+  /// Substitutes g for variable \p var inside f.
+  Bdd compose(const Bdd& f, int var, const Bdd& g);
+  /// Simultaneous substitution: variable v becomes map[v] for every map entry.
+  Bdd vector_compose(const Bdd& f, const std::unordered_map<int, Bdd, std::hash<int>>& map);
+  /// Renames variables: old variable v becomes perm[v]. Entries absent from
+  /// \p perm (value < 0) keep their index. The mapping must be injective on
+  /// the support.
+  Bdd permute(const Bdd& f, const std::vector<int>& perm);
+
+  /// Indices of variables f depends on, ascending.
+  std::vector<int> support(const Bdd& f);
+  /// Number of onset minterms over a space of \p num_vars variables.
+  double sat_count(const Bdd& f, int num_vars);
+  /// Any one onset minterm as (var, value) assignments for the support vars.
+  /// Returns false if f is the zero function.
+  bool pick_one_minterm(const Bdd& f, std::vector<std::pair<int, bool>>* out);
+
+  /// Number of distinct internal nodes reachable from f (constants excluded).
+  std::size_t node_count(const Bdd& f);
+  /// Number of 1-paths (the cube count of the disjoint cover the BLIF/PLA
+  /// writers emit) — the cost function of cube-minimizing encodings [3].
+  double one_path_count(const Bdd& f);
+  /// Count of all live (externally reachable) nodes in the manager.
+  std::size_t live_node_count() const;
+  /// Total nodes ever allocated and currently in the store.
+  std::size_t store_size() const { return nodes_.size(); }
+
+  /// Builds a BDD from a truth table; table variable i maps to manager
+  /// variable var_map[i] (or i when var_map is empty).
+  Bdd from_truth_table(const tt::TruthTable& table,
+                       const std::vector<int>& var_map = {});
+  /// Evaluates f over the cube spanned by \p vars into a truth table; f must
+  /// not depend on variables outside \p vars.
+  tt::TruthTable to_truth_table(const Bdd& f, const std::vector<int>& vars);
+
+  /// Evaluates f on a complete assignment (indexed by manager variable).
+  bool eval(const Bdd& f, const std::vector<bool>& assignment);
+
+  /// Graphviz dump for debugging.
+  std::string to_dot(const Bdd& f, const std::string& name = "bdd");
+
+  /// Runs mark-and-sweep garbage collection; invalidates no live handles.
+  void collect_garbage();
+  /// Number of GC runs so far (for stats/tests).
+  int gc_runs() const { return gc_runs_; }
+
+  /// Hard cap on live nodes (0 = unlimited). Exceeding it makes node
+  /// creation throw std::length_error — used by callers that attempt a
+  /// BDD-based computation and fall back when it blows up.
+  void set_node_limit(std::size_t limit) { node_limit_ = limit; }
+
+  /// Throws std::invalid_argument if the handle came from another manager.
+  void check_owned(const Bdd& f) const;
+
+ private:
+  friend class Bdd;
+
+  struct Node {
+    std::int32_t var;   // variable index; -1 for constants
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::uint32_t next;  // unique-table chain
+    std::uint32_t ext_refs = 0;
+  };
+
+  struct CacheKey {
+    std::uint64_t a, b;
+    bool operator==(const CacheKey&) const = default;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& k) const {
+      std::uint64_t h = k.a * 0x9E3779B97F4A7C15ull ^ (k.b + 0x517CC1B727220A95ull);
+      h ^= h >> 31;
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  std::uint32_t make_node(std::int32_t var, std::uint32_t lo, std::uint32_t hi);
+  std::uint32_t ite_rec(std::uint32_t f, std::uint32_t g, std::uint32_t h);
+  bool disjoint_rec(std::uint32_t f, std::uint32_t g,
+                    std::unordered_map<std::uint64_t, bool>& memo);
+  std::uint32_t cofactor_rec(std::uint32_t f, int var, bool value,
+                             std::unordered_map<std::uint32_t, std::uint32_t>& memo);
+  std::uint32_t quantify_rec(std::uint32_t f, const std::vector<char>& mask,
+                             bool existential,
+                             std::unordered_map<std::uint32_t, std::uint32_t>& memo);
+  std::uint32_t compose_rec(std::uint32_t f, const std::vector<std::int64_t>& map,
+                            std::unordered_map<std::uint32_t, std::uint32_t>& memo);
+  void support_rec(std::uint32_t f, std::vector<char>& seen,
+                   std::vector<char>& visited);
+  double sat_count_rec(std::uint32_t f,
+                       std::unordered_map<std::uint32_t, double>& memo);
+
+  Bdd make_external(std::uint32_t id);
+  void inc_ref(std::uint32_t id);
+  void dec_ref(std::uint32_t id);
+  void maybe_gc();
+
+  std::uint32_t unique_lookup(std::int32_t var, std::uint32_t lo, std::uint32_t hi);
+  void unique_insert(std::uint32_t id);
+  void rehash_unique(std::size_t new_bucket_count);
+
+  int num_vars_;
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> unique_buckets_;
+  std::unordered_map<CacheKey, std::uint32_t, CacheKeyHash> ite_cache_;
+  std::size_t gc_threshold_ = 1u << 18;
+  std::size_t node_limit_ = 0;
+  int gc_runs_ = 0;
+  std::vector<std::uint32_t> free_list_;
+};
+
+}  // namespace hyde::bdd

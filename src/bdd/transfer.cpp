@@ -1,0 +1,41 @@
+#include "bdd/transfer.hpp"
+
+#include <functional>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace hyde::bdd {
+
+Bdd transfer_compose(const Bdd& f, Manager& target,
+                     const std::vector<Bdd>& subst) {
+  std::unordered_map<std::uint32_t, Bdd> memo;
+  std::function<Bdd(const Bdd&)> rec = [&](const Bdd& g) -> Bdd {
+    if (g.is_zero()) return target.zero();
+    if (g.is_one()) return target.one();
+    if (auto it = memo.find(g.id()); it != memo.end()) return it->second;
+    const int v = g.top_var();
+    if (v >= static_cast<int>(subst.size()) ||
+        !subst[static_cast<std::size_t>(v)].is_valid()) {
+      throw std::invalid_argument("transfer_compose: variable not substituted");
+    }
+    const Bdd lo = rec(g.low());
+    const Bdd hi = rec(g.high());
+    Bdd result = target.ite(subst[static_cast<std::size_t>(v)], hi, lo);
+    memo.emplace(g.id(), result);
+    return result;
+  };
+  return rec(f);
+}
+
+Bdd transfer(const Bdd& f, Manager& target, const std::vector<int>& var_map) {
+  std::vector<Bdd> subst(var_map.size());
+  for (std::size_t v = 0; v < var_map.size(); ++v) {
+    if (var_map[v] >= 0) {
+      target.ensure_vars(var_map[v] + 1);
+      subst[v] = target.var(var_map[v]);
+    }
+  }
+  return transfer_compose(f, target, subst);
+}
+
+}  // namespace hyde::bdd

@@ -1,0 +1,100 @@
+/// \file flow.hpp
+/// \brief End-to-end technology-mapping flows: HYDE and the knobs that turn
+/// it into the published baselines it is compared against.
+///
+/// The flow turns an arbitrary Boolean network into a k-feasible network
+/// (every node ≤ k inputs) by recursive Roth–Karp decomposition:
+///
+///  - *collapse mode* (small circuits, as in the paper's experimental setup):
+///    primary-output global functions are decomposed directly;
+///  - *per-node mode* (large circuits): each wide node is decomposed over its
+///    fanins; wide nodes sharing identical supports can be grouped into
+///    hyper-functions (the paper's partially-collapsed **des** treatment).
+///
+/// Knobs map to the systems of Tables 1 and 2 (see DESIGN.md §3):
+///  - HYDE: hyper-functions + compatible-class encoding + clique-partition DC
+///    assignment, PPIs biased to the free set (Section 4.3);
+///  - FGSyn-like [4]: hyper-functions with PPIs *always* free (column
+///    encoding as the degenerate case), random encoding;
+///  - IMODEC-like [5]: per-output decomposition, rigid random encoding,
+///    DC merging on (sharing comes from downstream functional dedup);
+///  - Sawada-like [8] (no resub): per-output decomposition, random encoding,
+///    distinct-column classes (no clique partitioning).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/encoder.hpp"
+#include "core/hyper.hpp"
+#include "net/network.hpp"
+
+namespace hyde::core {
+
+/// How compatible classes (and hyper-function ingredients) are encoded.
+enum class EncodingPolicy {
+  kRandom,           ///< Step-1 random encoding only
+  kCompatibleClass,  ///< the paper's Figure-3 procedure
+  kCubeCount,        ///< Murgai et al. [3]: minimize the image's cube count
+};
+
+/// How a multi-output group is realized.
+enum class GroupChoice {
+  kAuto,         ///< decompose both ways, keep the cheaper (Section 4.3)
+  kAlwaysHyper,  ///< always take the hyper-function result
+  kNeverHyper,   ///< always take the per-output result
+};
+
+struct FlowOptions {
+  int k = 5;  ///< LUT input count
+  EncodingPolicy encoding = EncodingPolicy::kCompatibleClass;
+  decomp::DcPolicy dc_policy = decomp::DcPolicy::kCliquePartition;
+  bool use_hyper = true;   ///< group outputs into hyper-functions
+  GroupChoice group_choice = GroupChoice::kAuto;
+  bool ppi_hard_mu = false;  ///< FGSyn-like: PPIs never enter a bound set
+  int max_group_size = 4;  ///< ingredients per hyper-function
+  /// PI-count threshold for collapse mode; wider circuits run per-node.
+  int max_collapse_support = 16;
+  std::uint64_t seed = 1;
+  /// Number of flow applications (the paper re-applies its multi-level
+  /// script "several times"); each pass feeds the previous pass's network.
+  int passes = 1;
+};
+
+/// Flow outcome counters (area is the post-sweep logic node count; the
+/// mapper refines it with functional dedup / CLB packing).
+struct FlowStats {
+  int decomposition_steps = 0;
+  int shannon_fallbacks = 0;
+  int hyper_groups = 0;
+  int encoder_runs = 0;
+  int encoder_random_kept = 0;  ///< Step-8 chose the random encoding
+  bool collapse_mode = false;
+};
+
+struct FlowResult {
+  net::Network network;
+  FlowStats stats;
+};
+
+/// Runs the configured flow over \p input and returns a k-feasible network
+/// computing the same primary outputs.
+///
+/// \p external_dc optionally supplies per-output external don't cares (e.g.
+/// from a PLA's `-` outputs or a BLIF `.exdc` section): a network with the
+/// same primary-input names whose output named like one of \p input's POs
+/// gives that PO's don't-care function. Honoured in collapse mode (the mode
+/// used for the circuits small enough to exploit DCs globally); per-node
+/// mode ignores it.
+FlowResult run_flow(const net::Network& input, const FlowOptions& options,
+                    const net::Network* external_dc = nullptr);
+
+/// Convenience preset builders for the published points of comparison.
+FlowOptions hyde_options(int k);
+FlowOptions fgsyn_like_options(int k);
+FlowOptions imodec_like_options(int k);
+FlowOptions sawada_like_options(int k);
+
+}  // namespace hyde::core

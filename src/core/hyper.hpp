@@ -1,0 +1,76 @@
+/// \file hyper.hpp
+/// \brief Hyper-function decomposition (paper Section 4).
+///
+/// A set of single-output functions ("ingredients") is merged into one
+/// function by ⌈log2 n⌉ pseudo primary inputs (PPIs, Definition 4.1); the
+/// ingredient → code assignment reuses the compatible-class encoder
+/// (Theorems 4.1/4.2). After the hyper-function is decomposed into a network,
+/// the *duplication source* (DS, Definition 4.3) is the set of nodes fed
+/// directly by a PPI, the *duplication cone* (DC, Definition 4.4) its
+/// transitive fanout, and DSet_m (Definition 4.5) the nodes lying in the
+/// TFO of exactly m PPIs. Recovery duplicates the cone once per ingredient
+/// code, collapses the PPI constants, and leaves everything outside the cone
+/// shared among the ingredients.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/encoder.hpp"
+#include "net/network.hpp"
+
+namespace hyde::core {
+
+/// A constructed hyper-function.
+struct HyperFunction {
+  decomp::IsfBdd function;        ///< H over ppi_vars ∪ input_vars
+  std::vector<int> ppi_vars;      ///< η manager variables
+  std::vector<int> input_vars;    ///< union of ingredient supports
+  decomp::Encoding codes;         ///< ingredient → PPI code
+  EncodingTrace trace;            ///< what the ingredient encoder decided
+};
+
+/// Builds a hyper-function from \p ingredients (functions over
+/// \p input_vars) using \p ppi_vars as pseudo primary inputs. The encoding
+/// of ingredients follows the compatible-class encoder when \p use_encoder
+/// is set, otherwise the Step-1 random encoding.
+HyperFunction build_hyper_function(bdd::Manager& mgr,
+                                   const std::vector<decomp::IsfBdd>& ingredients,
+                                   const std::vector<int>& input_vars,
+                                   const std::vector<int>& ppi_vars,
+                                   const EncoderOptions& options,
+                                   bool use_encoder = true);
+
+/// Structural duplication analysis of a decomposed network.
+struct DuplicationAnalysis {
+  std::vector<net::NodeId> sources;  ///< DS: nodes with a PPI direct fanin
+  std::vector<net::NodeId> cone;     ///< DC: union of TFOs of DS
+  /// layer[id] = m: the node lies in the TFOs of m distinct PPIs (DSet_m);
+  /// 0 for nodes outside the cone.
+  std::vector<int> layer;
+
+  bool in_cone(net::NodeId id) const {
+    return layer[static_cast<std::size_t>(id)] > 0;
+  }
+  /// Total extra node copies recovery will create: a DSet_m node (m < n_ppi)
+  /// gets 2^m - 1 extra copies; a DSet_{n_ppi} node gets (#ingredients - 1).
+  int extra_copies(int num_ppis, int num_ingredients) const;
+};
+
+/// Computes DS / DC / DSet_m for \p network, where \p ppi_nodes lists the
+/// primary-input nodes acting as pseudo primary inputs.
+DuplicationAnalysis analyze_duplication(const net::Network& network,
+                                        const std::vector<net::NodeId>& ppi_nodes);
+
+/// Recovers the ingredients of a decomposed hyper-function: for each code,
+/// duplicates the duplication cone with the PPIs fixed to that code
+/// (constants collapse into the fanout nodes). Nodes outside the cone remain
+/// shared among the ingredients. Returns the per-ingredient root nodes, in
+/// code order; callers wire them to primary outputs or internal signals and
+/// sweep() to retire the PPI-dependent originals.
+std::vector<net::NodeId> recover_ingredients(
+    net::Network& network, net::NodeId hyper_root,
+    const std::vector<net::NodeId>& ppi_nodes, const decomp::Encoding& codes);
+
+}  // namespace hyde::core

@@ -1,0 +1,40 @@
+/// \file timemux.hpp
+/// \brief Time-multiplexed reconfigurable computing (paper Section 6).
+///
+/// Functions active in different time slots are combined into one
+/// hyper-function whose pseudo primary inputs are promoted to real *mode*
+/// inputs. Unlike multi-output recovery, nothing is duplicated: one network
+/// serves every slot, selected by the mode word. The paper proposes exactly
+/// this as a hyper-function application ("we don't have to duplicate the
+/// duplication cone at all").
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/encoder.hpp"
+#include "core/flow.hpp"
+#include "net/network.hpp"
+
+namespace hyde::core {
+
+struct TimeMultiplexed {
+  net::Network network;        ///< k-feasible; PIs = data inputs + mode bits
+  std::vector<std::uint32_t> slot_codes;  ///< mode word per slot
+  int num_mode_bits = 0;
+  EncodingTrace trace;         ///< what the slot encoder decided
+};
+
+/// Builds a k-feasible network computing slot i's function whenever the mode
+/// inputs spell slot_codes[i]. \p slots are functions over \p data_vars in
+/// \p mgr; data input i is named data_names[i] and the mode bits
+/// "mode0"... Slot codes come from the compatible-class encoder (a good
+/// coding makes the multiplexed network more decomposable, Theorem 4.2).
+TimeMultiplexed build_time_multiplexed(bdd::Manager& mgr,
+                                       const std::vector<decomp::IsfBdd>& slots,
+                                       const std::vector<int>& data_vars,
+                                       const std::vector<std::string>& data_names,
+                                       const FlowOptions& options);
+
+}  // namespace hyde::core

@@ -1,0 +1,145 @@
+#include "decomp/chart.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "bdd/transfer.hpp"
+
+namespace hyde::decomp {
+
+namespace {
+
+std::uint64_t pattern_key(const bdd::Bdd& on, const bdd::Bdd& dc) {
+  return (static_cast<std::uint64_t>(on.id()) << 32) | dc.id();
+}
+
+void check_spec(const DecompSpec& spec) {
+  if (spec.mgr == nullptr) {
+    throw std::invalid_argument("DecompSpec: null manager");
+  }
+  if (static_cast<int>(spec.bound.size()) > kMaxBoundVars) {
+    throw std::invalid_argument("DecompSpec: bound set too large to enumerate");
+  }
+}
+
+}  // namespace
+
+bdd::Bdd minterm_cube(bdd::Manager& mgr, const std::vector<int>& vars,
+                      std::uint64_t minterm) {
+  bdd::Bdd cube = mgr.one();
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    cube = cube & (((minterm >> i) & 1) ? mgr.var(vars[i]) : mgr.nvar(vars[i]));
+  }
+  return cube;
+}
+
+std::vector<Column> enumerate_columns(const DecompSpec& spec) {
+  check_spec(spec);
+  bdd::Manager& mgr = *spec.mgr;
+  std::vector<Column> columns;
+  std::unordered_map<std::uint64_t, std::size_t> index_of;
+
+  // Walk all 2^|bound| assignments by successive cofactoring; patterns that
+  // coincide as (on, dc) BDD pairs are merged into one column.
+  std::function<void(std::size_t, const bdd::Bdd&, const bdd::Bdd&, std::uint64_t)>
+      rec = [&](std::size_t depth, const bdd::Bdd& on, const bdd::Bdd& dc,
+                std::uint64_t minterm) {
+        if (depth == spec.bound.size()) {
+          const std::uint64_t key = pattern_key(on, dc);
+          auto [it, inserted] = index_of.emplace(key, columns.size());
+          if (inserted) {
+            columns.push_back(Column{IsfBdd{on, dc}, mgr.zero(), {}});
+          }
+          columns[it->second].minterms.push_back(minterm);
+          return;
+        }
+        const int var = spec.bound[depth];
+        rec(depth + 1, mgr.cofactor(on, var, false), mgr.cofactor(dc, var, false),
+            minterm);
+        rec(depth + 1, mgr.cofactor(on, var, true), mgr.cofactor(dc, var, true),
+            minterm | (std::uint64_t{1} << depth));
+      };
+  rec(0, spec.f.on, spec.f.dc, 0);
+
+  for (Column& column : columns) {
+    bdd::Bdd indicator = mgr.zero();
+    for (std::uint64_t m : column.minterms) {
+      indicator = indicator | minterm_cube(mgr, spec.bound, m);
+    }
+    column.indicator = std::move(indicator);
+  }
+  return columns;
+}
+
+int count_columns_via_cut(const DecompSpec& spec) {
+  if (spec.mgr == nullptr) {
+    throw std::invalid_argument("DecompSpec: null manager");
+  }
+  bdd::Manager& src = *spec.mgr;
+  // Reorder by transfer: bound variables become 0..p-1 (the top of the
+  // identity order), free variables follow.
+  bdd::Manager cut_mgr(static_cast<int>(spec.bound.size() + spec.free.size()));
+  std::vector<int> var_map(static_cast<std::size_t>(src.num_vars()), -1);
+  int next = 0;
+  for (int v : spec.bound) var_map[static_cast<std::size_t>(v)] = next++;
+  for (int v : spec.free) var_map[static_cast<std::size_t>(v)] = next++;
+  const bdd::Bdd on = bdd::transfer(spec.f.on, cut_mgr, var_map);
+  const bdd::Bdd dc = bdd::transfer(spec.f.dc, cut_mgr, var_map);
+
+  // Walk the top (bound) region of both BDDs in lock step; each distinct
+  // (on, dc) pair reached at the cut is one column pattern.
+  const int cut_level = static_cast<int>(spec.bound.size());
+  std::set<std::pair<std::uint32_t, std::uint32_t>> below;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> visited;
+  std::vector<std::pair<bdd::Bdd, bdd::Bdd>> stack{{on, dc}};
+  // Hold handles for every discovered node pair so ids stay stable.
+  std::vector<std::pair<bdd::Bdd, bdd::Bdd>> holders;
+  while (!stack.empty()) {
+    auto [f_on, f_dc] = stack.back();
+    stack.pop_back();
+    const bool on_below = f_on.is_constant() || f_on.top_var() >= cut_level;
+    const bool dc_below = f_dc.is_constant() || f_dc.top_var() >= cut_level;
+    if (on_below && dc_below) {
+      below.insert({f_on.id(), f_dc.id()});
+      holders.emplace_back(f_on, f_dc);
+      continue;
+    }
+    if (!visited.insert({f_on.id(), f_dc.id()}).second) continue;
+    holders.emplace_back(f_on, f_dc);
+    int top = INT32_MAX;
+    if (!on_below) top = std::min(top, f_on.top_var());
+    if (!dc_below) top = std::min(top, f_dc.top_var());
+    auto child = [&](const bdd::Bdd& g, bool hi) {
+      if (g.is_constant() || g.top_var() != top) return g;
+      return hi ? g.high() : g.low();
+    };
+    stack.push_back({child(f_on, false), child(f_dc, false)});
+    stack.push_back({child(f_on, true), child(f_dc, true)});
+  }
+  return static_cast<int>(below.size());
+}
+
+int count_columns(const DecompSpec& spec) {
+  check_spec(spec);
+  bdd::Manager& mgr = *spec.mgr;
+  // Hold handles so GC cannot recycle pattern ids mid-enumeration.
+  std::unordered_map<std::uint64_t, std::pair<bdd::Bdd, bdd::Bdd>> seen;
+  std::function<void(std::size_t, const bdd::Bdd&, const bdd::Bdd&)> rec =
+      [&](std::size_t depth, const bdd::Bdd& on, const bdd::Bdd& dc) {
+        if (depth == spec.bound.size()) {
+          seen.emplace(pattern_key(on, dc), std::make_pair(on, dc));
+          return;
+        }
+        const int var = spec.bound[depth];
+        rec(depth + 1, mgr.cofactor(on, var, false),
+            mgr.cofactor(dc, var, false));
+        rec(depth + 1, mgr.cofactor(on, var, true), mgr.cofactor(dc, var, true));
+      };
+  rec(0, spec.f.on, spec.f.dc);
+  return static_cast<int>(seen.size());
+}
+
+}  // namespace hyde::decomp

@@ -1,0 +1,69 @@
+/// \file chart.hpp
+/// \brief Decomposition-chart enumeration (Roth–Karp / Ashenhurst substrate).
+///
+/// Given an incompletely specified function f over a manager's variables, a
+/// bound (λ) set X and a free (μ) set Y, the *decomposition chart* has one
+/// column per assignment to X; a column's *pattern* is the residual function
+/// f(x, ·) of the free variables. This module enumerates the distinct
+/// patterns (as ISF pairs of BDDs) together with, per pattern, the set of
+/// bound-set minterms mapping to it and its indicator function over X.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+
+namespace hyde::decomp {
+
+/// An incompletely specified function inside a BDD manager.
+struct IsfBdd {
+  bdd::Bdd on;
+  bdd::Bdd dc;
+
+  /// The offset (specified-0 set); requires a manager.
+  bdd::Bdd off() const { return ~(on | dc); }
+};
+
+/// A decomposition problem instance: which function, which variable split.
+struct DecompSpec {
+  bdd::Manager* mgr = nullptr;
+  IsfBdd f;
+  std::vector<int> bound;  ///< λ-set variable indices (chart columns)
+  std::vector<int> free;   ///< μ-set variable indices (chart rows)
+};
+
+/// One distinct chart column pattern.
+struct Column {
+  IsfBdd pattern;   ///< residual function of the free variables
+  bdd::Bdd indicator;  ///< function of the bound variables: 1 on this column's minterms
+  std::vector<std::uint64_t> minterms;  ///< bound minterms (bit i = bound[i])
+};
+
+/// Hard cap on the bound-set size: charts are enumerated exhaustively.
+inline constexpr int kMaxBoundVars = 16;
+
+/// Enumerates the distinct column patterns of the chart. Deterministic:
+/// columns are ordered by their smallest bound minterm.
+/// Throws std::invalid_argument if |bound| exceeds kMaxBoundVars.
+std::vector<Column> enumerate_columns(const DecompSpec& spec);
+
+/// Number of distinct column patterns, without materializing indicators.
+/// This is exactly the compatible-class count for completely specified
+/// functions and an upper bound for ISFs.
+int count_columns(const DecompSpec& spec);
+
+/// The BDD-cut method of Jiang et al. [2]: transfers f into a manager whose
+/// variable order puts the bound set on top and counts the distinct
+/// sub-functions hanging below the cut. Equal to count_columns for
+/// completely specified functions but costs O(|BDD|) instead of
+/// O(2^|bound|). ISFs count distinct (on, dc) pattern pairs.
+int count_columns_via_cut(const DecompSpec& spec);
+
+/// Builds the BDD cube for an assignment to the given variables
+/// (bit i of \p minterm corresponds to vars[i]).
+bdd::Bdd minterm_cube(bdd::Manager& mgr, const std::vector<int>& vars,
+                      std::uint64_t minterm);
+
+}  // namespace hyde::decomp

@@ -1,0 +1,81 @@
+#include "decomp/compatible.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/matching.hpp"
+
+namespace hyde::decomp {
+
+int ClassResult::code_bits() const {
+  const int n = num_classes();
+  int bits = 0;
+  while ((1 << bits) < n) ++bits;
+  return bits;
+}
+
+bool columns_compatible(bdd::Manager& mgr, const IsfBdd& a, const IsfBdd& b) {
+  return mgr.disjoint(a.on, b.off()) && mgr.disjoint(b.on, a.off());
+}
+
+IsfBdd merge_columns(bdd::Manager& mgr, const std::vector<Column>& columns,
+                     const std::vector<int>& members) {
+  bdd::Bdd on = mgr.zero();
+  bdd::Bdd care = mgr.zero();
+  for (int m : members) {
+    const IsfBdd& p = columns[static_cast<std::size_t>(m)].pattern;
+    on = on | p.on;
+    care = care | p.on | p.off();
+  }
+  return IsfBdd{on, ~care};
+}
+
+ClassResult compute_compatible_classes(const DecompSpec& spec, DcPolicy policy) {
+  bdd::Manager& mgr = *spec.mgr;
+  ClassResult result;
+  result.columns = enumerate_columns(spec);
+  const int n = static_cast<int>(result.columns.size());
+
+  std::vector<std::vector<int>> groups;
+  if (policy == DcPolicy::kDistinctColumns) {
+    for (int i = 0; i < n; ++i) groups.push_back({i});
+  } else {
+    // Build the column-compatibility graph and clique-partition it, exactly
+    // the formulation of Section 3.1.
+    std::vector<std::vector<char>> adjacent(
+        static_cast<std::size_t>(n),
+        std::vector<char>(static_cast<std::size_t>(n), 0));
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (columns_compatible(mgr, result.columns[static_cast<std::size_t>(i)].pattern,
+                               result.columns[static_cast<std::size_t>(j)].pattern)) {
+          adjacent[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = 1;
+          adjacent[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = 1;
+        }
+      }
+    }
+    groups = graph::clique_partition(n, adjacent);
+  }
+
+  for (const auto& members : groups) {
+    CompatibleClass cls;
+    cls.columns = members;
+    cls.function = merge_columns(mgr, result.columns, members);
+    bdd::Bdd indicator = mgr.zero();
+    for (int m : members) {
+      indicator = indicator | result.columns[static_cast<std::size_t>(m)].indicator;
+    }
+    cls.indicator = std::move(indicator);
+    result.classes.push_back(std::move(cls));
+  }
+  return result;
+}
+
+int count_compatible_classes(const DecompSpec& spec, DcPolicy policy) {
+  if (policy == DcPolicy::kDistinctColumns || spec.f.dc.is_zero()) {
+    return count_columns(spec);
+  }
+  return compute_compatible_classes(spec, policy).num_classes();
+}
+
+}  // namespace hyde::decomp

@@ -1,0 +1,130 @@
+#include "decomp/joint.hpp"
+
+#include <functional>
+#include <map>
+#include <stdexcept>
+
+namespace hyde::decomp {
+
+namespace {
+
+struct JointClass {
+  std::vector<IsfBdd> patterns;  ///< one residual per input function
+  bdd::Bdd indicator;            ///< over the bound variables
+};
+
+std::vector<JointClass> enumerate_joint_classes(
+    bdd::Manager& mgr, const std::vector<IsfBdd>& functions,
+    const std::vector<int>& bound) {
+  if (bound.size() > static_cast<std::size_t>(kMaxBoundVars)) {
+    throw std::invalid_argument("joint_decompose: bound set too large");
+  }
+  std::vector<JointClass> classes;
+  std::map<std::vector<std::uint64_t>, std::size_t> index_of;
+  std::vector<std::vector<std::uint64_t>> minterms_of;
+
+  std::function<void(std::size_t, const std::vector<IsfBdd>&, std::uint64_t)> rec =
+      [&](std::size_t depth, const std::vector<IsfBdd>& fns, std::uint64_t m) {
+        if (depth == bound.size()) {
+          std::vector<std::uint64_t> key;
+          key.reserve(fns.size());
+          for (const IsfBdd& f : fns) {
+            key.push_back((static_cast<std::uint64_t>(f.on.id()) << 32) |
+                          f.dc.id());
+          }
+          auto [it, inserted] = index_of.emplace(key, classes.size());
+          if (inserted) {
+            classes.push_back(JointClass{fns, mgr.zero()});
+            minterms_of.emplace_back();
+          }
+          minterms_of[it->second].push_back(m);
+          return;
+        }
+        const int var = bound[depth];
+        std::vector<IsfBdd> lo, hi;
+        lo.reserve(fns.size());
+        hi.reserve(fns.size());
+        for (const IsfBdd& f : fns) {
+          lo.push_back(IsfBdd{mgr.cofactor(f.on, var, false),
+                              mgr.cofactor(f.dc, var, false)});
+          hi.push_back(IsfBdd{mgr.cofactor(f.on, var, true),
+                              mgr.cofactor(f.dc, var, true)});
+        }
+        rec(depth + 1, lo, m);
+        rec(depth + 1, hi, m | (std::uint64_t{1} << depth));
+      };
+  rec(0, functions, 0);
+
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    bdd::Bdd indicator = mgr.zero();
+    for (std::uint64_t m : minterms_of[c]) {
+      indicator = indicator | minterm_cube(mgr, bound, m);
+    }
+    classes[c].indicator = std::move(indicator);
+  }
+  return classes;
+}
+
+int bits_for(int n) {
+  int bits = 0;
+  while ((1 << bits) < n) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+int count_joint_classes(bdd::Manager& mgr, const std::vector<IsfBdd>& functions,
+                        const std::vector<int>& bound) {
+  return static_cast<int>(enumerate_joint_classes(mgr, functions, bound).size());
+}
+
+JointDecomposition joint_decompose(bdd::Manager& mgr,
+                                   const std::vector<IsfBdd>& functions,
+                                   const std::vector<int>& bound,
+                                   const std::vector<int>& free,
+                                   const std::vector<int>& alpha_vars) {
+  (void)free;  // the images naturally range over alpha_vars ∪ free
+  const auto classes = enumerate_joint_classes(mgr, functions, bound);
+  const int n = static_cast<int>(classes.size());
+  const int t = bits_for(n);
+  if (static_cast<int>(alpha_vars.size()) < t) {
+    throw std::invalid_argument(
+        "joint_decompose: not enough alpha variables for " +
+        std::to_string(n) + " joint classes");
+  }
+  JointDecomposition result;
+  result.num_joint_classes = n;
+  result.alpha_vars.assign(alpha_vars.begin(), alpha_vars.begin() + t);
+  result.encoding = identity_encoding(n);
+
+  for (int v : result.alpha_vars) mgr.ensure_vars(v + 1);
+  for (int j = 0; j < t; ++j) {
+    bdd::Bdd alpha = mgr.zero();
+    for (int c = 0; c < n; ++c) {
+      if ((result.encoding.codes[static_cast<std::size_t>(c)] >> j) & 1) {
+        alpha = alpha | classes[static_cast<std::size_t>(c)].indicator;
+      }
+    }
+    result.alphas.push_back(std::move(alpha));
+  }
+
+  for (std::size_t i = 0; i < functions.size(); ++i) {
+    bdd::Bdd g_on = mgr.zero();
+    bdd::Bdd g_dc = mgr.zero();
+    bdd::Bdd used = mgr.zero();
+    for (int c = 0; c < n; ++c) {
+      const bdd::Bdd cube = minterm_cube(
+          mgr, result.alpha_vars,
+          result.encoding.codes[static_cast<std::size_t>(c)]);
+      const IsfBdd& pattern = classes[static_cast<std::size_t>(c)].patterns[i];
+      g_on = g_on | (cube & pattern.on);
+      g_dc = g_dc | (cube & pattern.dc);
+      used = used | cube;
+    }
+    g_dc = g_dc | ~used;
+    result.images.push_back(IsfBdd{std::move(g_on), std::move(g_dc)});
+  }
+  return result;
+}
+
+}  // namespace hyde::decomp

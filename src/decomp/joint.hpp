@@ -1,0 +1,47 @@
+/// \file joint.hpp
+/// \brief Joint multi-output decomposition with one shared α set.
+///
+/// Several functions over the same bound set are decomposed together: the
+/// *joint* compatible classes are the distinct tuples of per-function column
+/// patterns, and a single strict encoding of those classes yields one set of
+/// decomposition functions serving every output. This is the constructive
+/// side of Theorems 4.3/4.4 (a partition contained in the joint partition
+/// rides along for free) and the common-α extraction at the heart of
+/// FGSyn's column encoding [4].
+
+#pragma once
+
+#include "decomp/compatible.hpp"
+#include "decomp/step.hpp"
+
+namespace hyde::decomp {
+
+struct JointDecomposition {
+  /// Shared decomposition functions over the bound variables.
+  std::vector<bdd::Bdd> alphas;
+  /// Per input function: its image over alpha_vars ∪ free variables.
+  std::vector<IsfBdd> images;
+  std::vector<int> alpha_vars;
+  Encoding encoding;      ///< strict codes of the joint classes
+  int num_joint_classes = 0;
+};
+
+/// Decomposes \p functions jointly over \p bound / \p free using
+/// \p alpha_vars (must provide ceil(log2 #joint-classes) variables — pass at
+/// least |bound| and the tail is ignored... callers typically pass fresh
+/// variables and read back alpha_vars from the result).
+///
+/// Throws std::invalid_argument when fewer alpha variables are supplied than
+/// the joint class count requires.
+JointDecomposition joint_decompose(bdd::Manager& mgr,
+                                   const std::vector<IsfBdd>& functions,
+                                   const std::vector<int>& bound,
+                                   const std::vector<int>& free,
+                                   const std::vector<int>& alpha_vars);
+
+/// Number of joint classes (distinct per-bound-minterm pattern tuples)
+/// without materializing the decomposition.
+int count_joint_classes(bdd::Manager& mgr, const std::vector<IsfBdd>& functions,
+                        const std::vector<int>& bound);
+
+}  // namespace hyde::decomp

@@ -1,0 +1,154 @@
+#include "decomp/step.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace hyde::decomp {
+
+namespace {
+
+int bits_for(int num_classes) {
+  int bits = 0;
+  while ((1 << bits) < num_classes) ++bits;
+  return bits;
+}
+
+/// SplitMix64: small, deterministic, good-enough mixing for seeded shuffles.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+bool Encoding::is_rigid() const {
+  return num_bits == bits_for(static_cast<int>(codes.size()));
+}
+
+void Encoding::validate(int num_classes) const {
+  if (static_cast<int>(codes.size()) != num_classes) {
+    throw std::invalid_argument("Encoding: code count != class count");
+  }
+  if (num_bits < bits_for(num_classes) || num_bits > 31) {
+    throw std::invalid_argument("Encoding: bad bit width");
+  }
+  std::vector<std::uint32_t> sorted = codes;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    throw std::invalid_argument("Encoding: duplicate codes (must be strict)");
+  }
+  for (std::uint32_t c : sorted) {
+    if (num_bits < 32 && c >= (std::uint32_t{1} << num_bits)) {
+      throw std::invalid_argument("Encoding: code exceeds bit width");
+    }
+  }
+}
+
+Encoding identity_encoding(int num_classes) {
+  Encoding e;
+  e.num_bits = bits_for(num_classes);
+  e.codes.resize(static_cast<std::size_t>(num_classes));
+  std::iota(e.codes.begin(), e.codes.end(), 0u);
+  return e;
+}
+
+Encoding random_encoding(int num_classes, std::uint64_t seed) {
+  Encoding e;
+  e.num_bits = bits_for(num_classes);
+  // Shuffle the code space and take the first num_classes codes.
+  std::vector<std::uint32_t> space(std::size_t{1} << e.num_bits);
+  std::iota(space.begin(), space.end(), 0u);
+  std::uint64_t state = seed;
+  for (std::size_t i = space.size(); i > 1; --i) {
+    const std::size_t j = splitmix64(state) % i;
+    std::swap(space[i - 1], space[j]);
+  }
+  e.codes.assign(space.begin(), space.begin() + num_classes);
+  return e;
+}
+
+IsfBdd build_image(bdd::Manager& mgr, const std::vector<IsfBdd>& functions,
+                   const Encoding& encoding, const std::vector<int>& alpha_vars) {
+  encoding.validate(static_cast<int>(functions.size()));
+  if (static_cast<int>(alpha_vars.size()) != encoding.num_bits) {
+    throw std::invalid_argument("build_image: alpha_vars size != num_bits");
+  }
+  for (int v : alpha_vars) mgr.ensure_vars(v + 1);
+  bdd::Bdd g_on = mgr.zero();
+  bdd::Bdd g_dc = mgr.zero();
+  bdd::Bdd used_codes = mgr.zero();
+  for (std::size_t i = 0; i < functions.size(); ++i) {
+    const bdd::Bdd cube = minterm_cube(mgr, alpha_vars, encoding.codes[i]);
+    g_on = g_on | (cube & functions[i].on);
+    g_dc = g_dc | (cube & functions[i].dc);
+    used_codes = used_codes | cube;
+  }
+  g_dc = g_dc | ~used_codes;
+  return IsfBdd{std::move(g_on), std::move(g_dc)};
+}
+
+DecompStep build_step(bdd::Manager& mgr, const ClassResult& classes,
+                      const std::vector<int>& bound, const std::vector<int>& free,
+                      const Encoding& encoding,
+                      const std::vector<int>& alpha_vars) {
+  encoding.validate(classes.num_classes());
+  if (static_cast<int>(alpha_vars.size()) != encoding.num_bits) {
+    throw std::invalid_argument("build_step: alpha_vars size != num_bits");
+  }
+  for (int v : alpha_vars) {
+    mgr.ensure_vars(v + 1);
+    if (std::find(bound.begin(), bound.end(), v) != bound.end() ||
+        std::find(free.begin(), free.end(), v) != free.end()) {
+      throw std::invalid_argument("build_step: alpha var collides with X/Y");
+    }
+  }
+
+  DecompStep step;
+  step.bound = bound;
+  step.free = free;
+  step.encoding = encoding;
+  step.alpha_vars = alpha_vars;
+
+  // α_j(X) = union of indicators of classes with bit j set.
+  for (int j = 0; j < encoding.num_bits; ++j) {
+    bdd::Bdd alpha = mgr.zero();
+    for (int i = 0; i < classes.num_classes(); ++i) {
+      if ((encoding.codes[static_cast<std::size_t>(i)] >> j) & 1) {
+        alpha = alpha | classes.classes[static_cast<std::size_t>(i)].indicator;
+      }
+    }
+    step.alphas.push_back(std::move(alpha));
+  }
+
+  // Image g over alpha_vars ∪ free: class i's behaviour under its code;
+  // unassigned codes are fully don't-care.
+  std::vector<IsfBdd> functions;
+  functions.reserve(static_cast<std::size_t>(classes.num_classes()));
+  for (const CompatibleClass& cls : classes.classes) {
+    functions.push_back(cls.function);
+  }
+  step.image = build_image(mgr, functions, encoding, alpha_vars);
+  return step;
+}
+
+bool verify_step(bdd::Manager& mgr, const IsfBdd& f, const DecompStep& step) {
+  // Compose g(α(x), y): substitute each alpha input variable by α_j(x) and
+  // pick *some* completion of g's don't cares; correctness means f's onset
+  // implies g's (on ∪ dc) under composition and f's offset implies
+  // (off ∪ dc). Equivalently: composed g_on must not hit f's offset and
+  // composed g_off must not hit f's onset.
+  std::unordered_map<int, bdd::Bdd, std::hash<int>> subst;
+  for (std::size_t j = 0; j < step.alpha_vars.size(); ++j) {
+    subst.emplace(step.alpha_vars[j], step.alphas[j]);
+  }
+  const bdd::Bdd composed_on = mgr.vector_compose(step.image.on, subst);
+  const bdd::Bdd composed_off = mgr.vector_compose(step.image.off(), subst);
+  const bdd::Bdd f_off = f.off();
+  return mgr.disjoint(composed_on, f_off) && mgr.disjoint(composed_off, f.on);
+}
+
+}  // namespace hyde::decomp

@@ -1,0 +1,72 @@
+/// \file step.hpp
+/// \brief One disjoint decomposition step: α-functions plus image function.
+///
+/// Given the compatible classes of f(X, Y) and an encoding (a binary code per
+/// class), this module materializes:
+///  - the decomposition functions α_j(X): α_j is 1 on the bound minterms of
+///    every class whose code has bit j set;
+///  - the image function g(α, Y) as an ISF: g(code_i, y) behaves like class
+///    i's function; code words assigned to no class are don't cares (the
+///    strict-encoding DC the paper exploits in the *next* decomposition).
+///
+/// `verify_step` checks the defining identity f(x, y) = g(α(x), y) on the
+/// care set — used by tests and by the flows' internal assertions.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "decomp/compatible.hpp"
+
+namespace hyde::decomp {
+
+/// An encoding: one code word per compatible class (strict), using
+/// \p num_bits α-functions. Codes must be distinct and fit in num_bits.
+struct Encoding {
+  std::vector<std::uint32_t> codes;
+  int num_bits = 0;
+
+  /// Rigid iff num_bits == ceil(log2(#classes)).
+  bool is_rigid() const;
+  /// Validates distinctness and width; throws std::invalid_argument if bad.
+  void validate(int num_classes) const;
+};
+
+/// The materialized step.
+struct DecompStep {
+  std::vector<bdd::Bdd> alphas;  ///< α_j over the bound variables
+  IsfBdd image;                  ///< g over alpha_vars ∪ free vars
+  std::vector<int> alpha_vars;   ///< manager variables used for α inputs of g
+  std::vector<int> bound;        ///< the λ set this step decomposed
+  std::vector<int> free;         ///< the μ set
+  Encoding encoding;
+};
+
+/// Builds the image ISF over \p alpha_vars ∪ (the functions' variables):
+/// behaves like \p functions[i] when the alpha variables spell codes[i];
+/// unassigned code words are fully don't-care. This is also exactly the
+/// construction of a hyper-function from its ingredients (Definition 4.1),
+/// with alpha_vars playing the pseudo-primary-input role.
+IsfBdd build_image(bdd::Manager& mgr, const std::vector<IsfBdd>& functions,
+                   const Encoding& encoding, const std::vector<int>& alpha_vars);
+
+/// Builds α-functions and the image ISF for \p classes under \p encoding.
+/// \p alpha_vars supplies num_bits fresh manager variable indices for the
+/// image's α inputs (they must not collide with bound/free variables).
+DecompStep build_step(bdd::Manager& mgr, const ClassResult& classes,
+                      const std::vector<int>& bound, const std::vector<int>& free,
+                      const Encoding& encoding, const std::vector<int>& alpha_vars);
+
+/// Checks f(x,y) == g(α(x),y) on the care set of f. Returns true when the
+/// step is a correct decomposition of \p f.
+bool verify_step(bdd::Manager& mgr, const IsfBdd& f, const DecompStep& step);
+
+/// The identity encoding: class i gets code i over ceil(log2 n) bits.
+Encoding identity_encoding(int num_classes);
+
+/// A deterministic pseudo-random strict encoding (seeded), as used by Step 1
+/// of the paper's encoding procedure ("encode compatible classes at random").
+Encoding random_encoding(int num_classes, std::uint64_t seed);
+
+}  // namespace hyde::decomp

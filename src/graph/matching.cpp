@@ -1,0 +1,340 @@
+#include "graph/matching.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace hyde::graph {
+
+// ---------------------------------------------------------------------------
+// Clique partitioning (Tseng/Siewiorek-style heuristic, per [9])
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<int>> clique_partition(
+    int n, const std::vector<std::vector<char>>& adjacent) {
+  if (static_cast<int>(adjacent.size()) != n) {
+    throw std::invalid_argument("clique_partition: adjacency size mismatch");
+  }
+  // Super-vertex state: members and pairwise adjacency between super-vertices.
+  // Two super-vertices are adjacent iff every cross pair of members is
+  // adjacent (so merging adjacent super-vertices keeps cliques cliques).
+  std::vector<std::vector<int>> members(static_cast<std::size_t>(n));
+  std::vector<char> alive(static_cast<std::size_t>(n), 1);
+  std::vector<std::vector<char>> adj(static_cast<std::size_t>(n),
+                                     std::vector<char>(static_cast<std::size_t>(n), 0));
+  for (int i = 0; i < n; ++i) {
+    members[static_cast<std::size_t>(i)] = {i};
+    for (int j = 0; j < n; ++j) {
+      if (i != j) {
+        adj[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+            adjacent[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      }
+    }
+  }
+
+  auto common_neighbours = [&](int a, int b) {
+    int count = 0;
+    for (int k = 0; k < n; ++k) {
+      if (alive[static_cast<std::size_t>(k)] && k != a && k != b &&
+          adj[static_cast<std::size_t>(a)][static_cast<std::size_t>(k)] &&
+          adj[static_cast<std::size_t>(b)][static_cast<std::size_t>(k)]) {
+        ++count;
+      }
+    }
+    return count;
+  };
+
+  while (true) {
+    int best_a = -1, best_b = -1, best_common = -1;
+    for (int a = 0; a < n; ++a) {
+      if (!alive[static_cast<std::size_t>(a)]) continue;
+      for (int b = a + 1; b < n; ++b) {
+        if (!alive[static_cast<std::size_t>(b)]) continue;
+        if (!adj[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)]) continue;
+        const int c = common_neighbours(a, b);
+        if (c > best_common) {
+          best_common = c;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    if (best_a < 0) break;
+    // Merge b into a: a's members grow; a stays adjacent only to super-
+    // vertices adjacent to both.
+    auto& ma = members[static_cast<std::size_t>(best_a)];
+    auto& mb = members[static_cast<std::size_t>(best_b)];
+    ma.insert(ma.end(), mb.begin(), mb.end());
+    mb.clear();
+    alive[static_cast<std::size_t>(best_b)] = 0;
+    for (int k = 0; k < n; ++k) {
+      const char both =
+          adj[static_cast<std::size_t>(best_a)][static_cast<std::size_t>(k)] &&
+          adj[static_cast<std::size_t>(best_b)][static_cast<std::size_t>(k)];
+      adj[static_cast<std::size_t>(best_a)][static_cast<std::size_t>(k)] = both;
+      adj[static_cast<std::size_t>(k)][static_cast<std::size_t>(best_a)] = both;
+      adj[static_cast<std::size_t>(best_b)][static_cast<std::size_t>(k)] = 0;
+      adj[static_cast<std::size_t>(k)][static_cast<std::size_t>(best_b)] = 0;
+    }
+  }
+
+  std::vector<std::vector<int>> cliques;
+  for (int i = 0; i < n; ++i) {
+    if (alive[static_cast<std::size_t>(i)]) {
+      auto clique = members[static_cast<std::size_t>(i)];
+      std::sort(clique.begin(), clique.end());
+      cliques.push_back(std::move(clique));
+    }
+  }
+  return cliques;
+}
+
+// ---------------------------------------------------------------------------
+// Maximum-weight bipartite b-matching via min-cost flow
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct FlowEdge {
+  int to;
+  int cap;
+  double cost;
+  std::size_t rev;  // index of the reverse edge in graph[to]
+};
+
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(int num_nodes) : graph_(static_cast<std::size_t>(num_nodes)) {}
+
+  void add_edge(int from, int to, int cap, double cost) {
+    graph_[static_cast<std::size_t>(from)].push_back(
+        {to, cap, cost, graph_[static_cast<std::size_t>(to)].size()});
+    graph_[static_cast<std::size_t>(to)].push_back(
+        {from, 0, -cost, graph_[static_cast<std::size_t>(from)].size() - 1});
+  }
+
+  /// Augments unit flows along cheapest paths while the path cost is
+  /// negative; returns total (negated) profit.
+  double run_negative_paths(int source, int sink) {
+    const int n = static_cast<int>(graph_.size());
+    double total = 0.0;
+    while (true) {
+      // Bellman-Ford (costs can be negative; graphs here are tiny).
+      std::vector<double> dist(static_cast<std::size_t>(n),
+                               std::numeric_limits<double>::infinity());
+      std::vector<int> prev_node(static_cast<std::size_t>(n), -1);
+      std::vector<std::size_t> prev_edge(static_cast<std::size_t>(n), 0);
+      dist[static_cast<std::size_t>(source)] = 0.0;
+      for (int iter = 0; iter < n; ++iter) {
+        bool changed = false;
+        for (int u = 0; u < n; ++u) {
+          if (!std::isfinite(dist[static_cast<std::size_t>(u)])) continue;
+          const auto& edges = graph_[static_cast<std::size_t>(u)];
+          for (std::size_t e = 0; e < edges.size(); ++e) {
+            if (edges[e].cap <= 0) continue;
+            const double nd = dist[static_cast<std::size_t>(u)] + edges[e].cost;
+            if (nd < dist[static_cast<std::size_t>(edges[e].to)] - 1e-12) {
+              dist[static_cast<std::size_t>(edges[e].to)] = nd;
+              prev_node[static_cast<std::size_t>(edges[e].to)] = u;
+              prev_edge[static_cast<std::size_t>(edges[e].to)] = e;
+              changed = true;
+            }
+          }
+        }
+        if (!changed) break;
+      }
+      if (!std::isfinite(dist[static_cast<std::size_t>(sink)]) ||
+          dist[static_cast<std::size_t>(sink)] >= -1e-12) {
+        break;  // no remaining path with positive profit
+      }
+      // Push one unit along the path.
+      for (int v = sink; v != source;
+           v = prev_node[static_cast<std::size_t>(v)]) {
+        const int u = prev_node[static_cast<std::size_t>(v)];
+        FlowEdge& e =
+            graph_[static_cast<std::size_t>(u)][prev_edge[static_cast<std::size_t>(v)]];
+        e.cap -= 1;
+        graph_[static_cast<std::size_t>(e.to)][e.rev].cap += 1;
+      }
+      total += dist[static_cast<std::size_t>(sink)];
+    }
+    return total;
+  }
+
+  const std::vector<FlowEdge>& edges_from(int node) const {
+    return graph_[static_cast<std::size_t>(node)];
+  }
+
+ private:
+  std::vector<std::vector<FlowEdge>> graph_;
+};
+
+}  // namespace
+
+BMatchResult max_weight_b_matching(int num_left, int num_right,
+                                   const std::vector<int>& right_capacity,
+                                   const std::vector<BMatchEdge>& edges) {
+  if (static_cast<int>(right_capacity.size()) != num_right) {
+    throw std::invalid_argument("max_weight_b_matching: capacity size mismatch");
+  }
+  // Node layout: 0 = source, 1..num_left = left, then right, then sink.
+  const int source = 0;
+  const int left_base = 1;
+  const int right_base = left_base + num_left;
+  const int sink = right_base + num_right;
+  FlowNetwork net(sink + 1);
+  for (int i = 0; i < num_left; ++i) net.add_edge(source, left_base + i, 1, 0.0);
+  for (int j = 0; j < num_right; ++j) {
+    net.add_edge(right_base + j, sink, right_capacity[static_cast<std::size_t>(j)], 0.0);
+  }
+  for (const auto& e : edges) {
+    if (e.left < 0 || e.left >= num_left || e.right < 0 || e.right >= num_right) {
+      throw std::invalid_argument("max_weight_b_matching: edge out of range");
+    }
+    net.add_edge(left_base + e.left, right_base + e.right, 1, -e.weight);
+  }
+  const double neg_profit = net.run_negative_paths(source, sink);
+
+  BMatchResult result;
+  result.left_match.assign(static_cast<std::size_t>(num_left), -1);
+  result.total_weight = -neg_profit;
+  for (int i = 0; i < num_left; ++i) {
+    for (const auto& e : net.edges_from(left_base + i)) {
+      // A saturated forward edge to a right node indicates a match.
+      if (e.to >= right_base && e.to < sink && e.cap == 0 && e.cost <= 0.0) {
+        result.left_match[static_cast<std::size_t>(i)] = e.to - right_base;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Edmonds' blossom maximum-cardinality matching
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Blossom {
+ public:
+  Blossom(int n, const std::vector<std::pair<int, int>>& edges)
+      : n_(n), adj_(static_cast<std::size_t>(n)) {
+    for (const auto& [u, v] : edges) {
+      if (u == v) continue;
+      adj_[static_cast<std::size_t>(u)].push_back(v);
+      adj_[static_cast<std::size_t>(v)].push_back(u);
+    }
+    match_.assign(static_cast<std::size_t>(n), -1);
+  }
+
+  std::vector<int> solve() {
+    for (int v = 0; v < n_; ++v) {
+      if (match_[static_cast<std::size_t>(v)] == -1) {
+        const int u = find_augmenting_path(v);
+        if (u != -1) augment(u);
+      }
+    }
+    return match_;
+  }
+
+ private:
+  int lca(int a, int b) {
+    std::vector<char> used(static_cast<std::size_t>(n_), 0);
+    while (true) {
+      a = base_[static_cast<std::size_t>(a)];
+      used[static_cast<std::size_t>(a)] = 1;
+      if (match_[static_cast<std::size_t>(a)] == -1) break;
+      a = parent_[static_cast<std::size_t>(match_[static_cast<std::size_t>(a)])];
+    }
+    while (true) {
+      b = base_[static_cast<std::size_t>(b)];
+      if (used[static_cast<std::size_t>(b)]) return b;
+      b = parent_[static_cast<std::size_t>(match_[static_cast<std::size_t>(b)])];
+    }
+  }
+
+  void mark_path(int v, int b, int child) {
+    while (base_[static_cast<std::size_t>(v)] != b) {
+      const int mv = match_[static_cast<std::size_t>(v)];
+      blossom_[static_cast<std::size_t>(base_[static_cast<std::size_t>(v)])] = 1;
+      blossom_[static_cast<std::size_t>(base_[static_cast<std::size_t>(mv)])] = 1;
+      parent_[static_cast<std::size_t>(v)] = child;
+      child = mv;
+      v = parent_[static_cast<std::size_t>(mv)];
+    }
+  }
+
+  int find_augmenting_path(int root) {
+    used_.assign(static_cast<std::size_t>(n_), 0);
+    parent_.assign(static_cast<std::size_t>(n_), -1);
+    base_.resize(static_cast<std::size_t>(n_));
+    for (int i = 0; i < n_; ++i) base_[static_cast<std::size_t>(i)] = i;
+
+    used_[static_cast<std::size_t>(root)] = 1;
+    std::queue<int> q;
+    q.push(root);
+    while (!q.empty()) {
+      const int v = q.front();
+      q.pop();
+      for (const int to : adj_[static_cast<std::size_t>(v)]) {
+        if (base_[static_cast<std::size_t>(v)] == base_[static_cast<std::size_t>(to)] ||
+            match_[static_cast<std::size_t>(v)] == to) {
+          continue;
+        }
+        if (to == root ||
+            (match_[static_cast<std::size_t>(to)] != -1 &&
+             parent_[static_cast<std::size_t>(match_[static_cast<std::size_t>(to)])] != -1)) {
+          // Found a blossom; contract it.
+          const int cur_base = lca(v, to);
+          blossom_.assign(static_cast<std::size_t>(n_), 0);
+          mark_path(v, cur_base, to);
+          mark_path(to, cur_base, v);
+          for (int i = 0; i < n_; ++i) {
+            if (blossom_[static_cast<std::size_t>(base_[static_cast<std::size_t>(i)])]) {
+              base_[static_cast<std::size_t>(i)] = cur_base;
+              if (!used_[static_cast<std::size_t>(i)]) {
+                used_[static_cast<std::size_t>(i)] = 1;
+                q.push(i);
+              }
+            }
+          }
+        } else if (parent_[static_cast<std::size_t>(to)] == -1) {
+          parent_[static_cast<std::size_t>(to)] = v;
+          if (match_[static_cast<std::size_t>(to)] == -1) {
+            return to;  // augmenting path found
+          }
+          used_[static_cast<std::size_t>(match_[static_cast<std::size_t>(to)])] = 1;
+          q.push(match_[static_cast<std::size_t>(to)]);
+        }
+      }
+    }
+    return -1;
+  }
+
+  void augment(int v) {
+    while (v != -1) {
+      const int pv = parent_[static_cast<std::size_t>(v)];
+      const int ppv = match_[static_cast<std::size_t>(pv)];
+      match_[static_cast<std::size_t>(v)] = pv;
+      match_[static_cast<std::size_t>(pv)] = v;
+      v = ppv;
+    }
+  }
+
+  int n_;
+  std::vector<std::vector<int>> adj_;
+  std::vector<int> match_, parent_, base_;
+  std::vector<char> used_, blossom_;
+};
+
+}  // namespace
+
+std::vector<int> max_cardinality_matching(
+    int n, const std::vector<std::pair<int, int>>& edges) {
+  return Blossom(n, edges).solve();
+}
+
+}  // namespace hyde::graph

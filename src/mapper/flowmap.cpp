@@ -1,0 +1,435 @@
+#include "mapper/flowmap.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <map>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace hyde::mapper {
+
+namespace {
+
+using net::Network;
+using net::NodeId;
+
+// ---------------------------------------------------------------------------
+// 2-input technology decomposition
+// ---------------------------------------------------------------------------
+
+/// Builds a 2-input-gate tree computing the local BDD of one node.
+class GateBuilder {
+ public:
+  GateBuilder(Network& out, const std::vector<NodeId>& signal_of_pin)
+      : out_(out), signal_of_pin_(signal_of_pin) {}
+
+  NodeId build(const bdd::Bdd& f) {
+    if (f.is_zero()) return constant(false);
+    if (f.is_one()) return constant(true);
+    if (const auto it = memo_.find(f.id()); it != memo_.end()) return it->second;
+    const NodeId s = signal_of_pin_[static_cast<std::size_t>(f.top_var())];
+    const bdd::Bdd lo = f.low();
+    const bdd::Bdd hi = f.high();
+    NodeId result;
+    if (hi.is_one()) {
+      result = gate(s, build(lo), Gate::kOr);          // s | lo
+    } else if (hi.is_zero()) {
+      result = gate(s, build(lo), Gate::kAndNotA);     // !s & lo
+    } else if (lo.is_zero()) {
+      result = gate(s, build(hi), Gate::kAnd);         // s & hi
+    } else if (lo.is_one()) {
+      result = gate(s, build(hi), Gate::kOrNotA);      // !s | hi
+    } else {
+      const NodeId a = gate(s, build(hi), Gate::kAnd);
+      const NodeId b = gate(s, build(lo), Gate::kAndNotA);
+      result = gate(a, b, Gate::kOr);
+    }
+    memo_.emplace(f.id(), result);
+    return result;
+  }
+
+ private:
+  enum class Gate { kAnd, kOr, kAndNotA, kOrNotA };
+
+  NodeId constant(bool value) {
+    NodeId& slot = value ? const1_ : const0_;
+    if (slot == net::kNoNode) {
+      slot = out_.add_constant(out_.fresh_name(value ? "one" : "zero"), value);
+    }
+    return slot;
+  }
+
+  NodeId gate(NodeId a, NodeId b, Gate kind) {
+    const tt::TruthTable x = tt::TruthTable::var(2, 0);
+    const tt::TruthTable y = tt::TruthTable::var(2, 1);
+    tt::TruthTable fn(2);
+    switch (kind) {
+      case Gate::kAnd: fn = x & y; break;
+      case Gate::kOr: fn = x | y; break;
+      case Gate::kAndNotA: fn = ~x & y; break;
+      case Gate::kOrNotA: fn = ~x | y; break;
+    }
+    return out_.add_logic_tt(out_.fresh_name("g"), {a, b}, fn);
+  }
+
+  Network& out_;
+  const std::vector<NodeId>& signal_of_pin_;
+  std::unordered_map<std::uint32_t, NodeId> memo_;
+  NodeId const0_ = net::kNoNode;
+  NodeId const1_ = net::kNoNode;
+};
+
+/// Rebalances maximal single-fanout chains/trees of one associative 2-input
+/// gate kind (AND, OR, XOR) into balanced trees — FlowMap's depth optimality
+/// is relative to the subject graph, so chain-shaped decompositions would
+/// otherwise force deep mappings.
+void balance_chains(Network& network) {
+  const tt::TruthTable x = tt::TruthTable::var(2, 0);
+  const tt::TruthTable y = tt::TruthTable::var(2, 1);
+  const std::vector<tt::TruthTable> kinds{x & y, x | y, x ^ y};
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    network.sweep();
+    // Fanout counts and PO guards for the single-fanout test.
+    std::vector<int> fanout(static_cast<std::size_t>(network.num_nodes()), 0);
+    for (NodeId id : network.topo_order()) {
+      for (NodeId f : network.node(id).fanins) {
+        ++fanout[static_cast<std::size_t>(f)];
+      }
+    }
+    for (const auto& o : network.outputs()) {
+      fanout[static_cast<std::size_t>(o.driver)] += 2;  // never absorb PO roots
+    }
+    for (const tt::TruthTable& kind : kinds) {
+      for (NodeId id : network.topo_order()) {
+        const net::Node& node = network.node(id);
+        if (node.kind != net::NodeKind::kLogic || node.fanins.size() != 2) {
+          continue;
+        }
+        if (network.local_tt(id) != kind) continue;
+        // Gather the maximal same-kind single-fanout subtree leaves, tracking
+        // the current subtree depth.
+        std::vector<NodeId> leaves;
+        int current_depth = 1;
+        std::function<void(NodeId, int)> gather = [&](NodeId v, int depth) {
+          const net::Node& n = network.node(v);
+          if (v != id && n.kind == net::NodeKind::kLogic &&
+              n.fanins.size() == 2 && fanout[static_cast<std::size_t>(v)] == 1 &&
+              network.local_tt(v) == kind) {
+            gather(n.fanins[0], depth + 1);
+            gather(n.fanins[1], depth + 1);
+          } else {
+            leaves.push_back(v);
+            current_depth = std::max(current_depth, depth);
+          }
+        };
+        gather(node.fanins[0], 1);
+        gather(node.fanins[1], 1);
+        if (leaves.size() <= 3) continue;  // already depth-minimal enough
+        int optimal_depth = 0;
+        while ((std::size_t{1} << optimal_depth) < leaves.size()) {
+          ++optimal_depth;
+        }
+        if (current_depth <= optimal_depth) continue;  // already balanced
+        // Rebuild a balanced tree bottom-up.
+        std::vector<NodeId> layer = leaves;
+        while (layer.size() > 2) {
+          std::vector<NodeId> next;
+          for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+            next.push_back(network.add_logic_tt(network.fresh_name("bal"),
+                                                {layer[i], layer[i + 1]}, kind));
+          }
+          if (layer.size() % 2 == 1) next.push_back(layer.back());
+          layer = std::move(next);
+        }
+        net::Node& mutable_node = network.node(id);
+        mutable_node.fanins = layer;
+        mutable_node.local = network.manager().from_truth_table(kind);
+        changed = true;
+        break;  // new nodes exist: fanout[] is stale, restart the pass
+      }
+      if (changed) break;  // recompute fanouts before the next round
+    }
+  }
+  network.sweep();
+}
+
+}  // namespace
+
+Network tech_decompose(const Network& network) {
+  Network out(network.model_name());
+  std::unordered_map<NodeId, NodeId> map;
+  for (NodeId pi : network.inputs()) {
+    map.emplace(pi, out.add_input(network.node(pi).name));
+  }
+  for (NodeId id : network.topo_order()) {
+    const net::Node& node = network.node(id);
+    if (node.kind != net::NodeKind::kLogic) continue;
+    std::vector<NodeId> signal_of_pin;
+    for (NodeId f : node.fanins) signal_of_pin.push_back(map.at(f));
+    GateBuilder builder(out, signal_of_pin);
+    map.emplace(id, builder.build(node.local));
+  }
+  for (const auto& o : network.outputs()) {
+    out.add_output(o.name, map.at(o.driver));
+  }
+  out.sweep();
+  balance_chains(out);
+  return out;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// FlowMap labeling
+// ---------------------------------------------------------------------------
+
+/// Unit-capacity max-flow on the node-split cone network, stopping as soon
+/// as the flow exceeds \p limit. Returns the achieved flow and, when flow ≤
+/// limit, the min vertex cut.
+struct ConeFlow {
+  // Flow-graph nodes: 2*i = in-side of cone node i, 2*i+1 = out-side,
+  // source = 2*N, sink = 2*N+1.
+  explicit ConeFlow(int cone_size)
+      : n_(2 * cone_size + 2), adj_(static_cast<std::size_t>(n_)) {}
+
+  void add_edge(int from, int to, int cap) {
+    adj_[static_cast<std::size_t>(from)].push_back(
+        {to, cap, static_cast<int>(adj_[static_cast<std::size_t>(to)].size())});
+    adj_[static_cast<std::size_t>(to)].push_back(
+        {from, 0, static_cast<int>(adj_[static_cast<std::size_t>(from)].size()) - 1});
+  }
+
+  int max_flow(int source, int sink, int limit) {
+    int flow = 0;
+    while (flow <= limit) {
+      // BFS for an augmenting path.
+      std::vector<int> prev_node(static_cast<std::size_t>(n_), -1);
+      std::vector<int> prev_edge(static_cast<std::size_t>(n_), -1);
+      std::queue<int> queue;
+      queue.push(source);
+      prev_node[static_cast<std::size_t>(source)] = source;
+      while (!queue.empty() && prev_node[static_cast<std::size_t>(sink)] < 0) {
+        const int u = queue.front();
+        queue.pop();
+        const auto& edges = adj_[static_cast<std::size_t>(u)];
+        for (std::size_t e = 0; e < edges.size(); ++e) {
+          if (edges[e].cap > 0 &&
+              prev_node[static_cast<std::size_t>(edges[e].to)] < 0) {
+            prev_node[static_cast<std::size_t>(edges[e].to)] = u;
+            prev_edge[static_cast<std::size_t>(edges[e].to)] = static_cast<int>(e);
+            queue.push(edges[e].to);
+          }
+        }
+      }
+      if (prev_node[static_cast<std::size_t>(sink)] < 0) break;
+      for (int v = sink; v != source; v = prev_node[static_cast<std::size_t>(v)]) {
+        const int u = prev_node[static_cast<std::size_t>(v)];
+        Edge& e = adj_[static_cast<std::size_t>(u)]
+                      [static_cast<std::size_t>(prev_edge[static_cast<std::size_t>(v)])];
+        e.cap -= 1;
+        adj_[static_cast<std::size_t>(v)][static_cast<std::size_t>(e.rev)].cap += 1;
+      }
+      ++flow;
+    }
+    return flow;
+  }
+
+  /// After max_flow: flow-graph nodes reachable from source in the residual.
+  std::vector<char> residual_reachable(int source) const {
+    std::vector<char> seen(static_cast<std::size_t>(n_), 0);
+    std::queue<int> queue;
+    queue.push(source);
+    seen[static_cast<std::size_t>(source)] = 1;
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop();
+      for (const Edge& e : adj_[static_cast<std::size_t>(u)]) {
+        if (e.cap > 0 && !seen[static_cast<std::size_t>(e.to)]) {
+          seen[static_cast<std::size_t>(e.to)] = 1;
+          queue.push(e.to);
+        }
+      }
+    }
+    return seen;
+  }
+
+ private:
+  struct Edge {
+    int to;
+    int cap;
+    int rev;
+  };
+  int n_;
+  std::vector<std::vector<Edge>> adj_;
+};
+
+/// The transitive fanin cone of t (logic nodes and PIs), t included.
+std::vector<NodeId> fanin_cone(const Network& network, NodeId t) {
+  std::vector<NodeId> cone;
+  std::vector<char> seen(static_cast<std::size_t>(network.num_nodes()), 0);
+  std::function<void(NodeId)> visit = [&](NodeId v) {
+    if (seen[static_cast<std::size_t>(v)]) return;
+    seen[static_cast<std::size_t>(v)] = 1;
+    for (NodeId f : network.node(v).fanins) visit(f);
+    cone.push_back(v);
+  };
+  visit(t);
+  return cone;
+}
+
+}  // namespace
+
+FlowMapResult flowmap(const Network& input, int k) {
+  if (k < 2) throw std::invalid_argument("flowmap: k must be at least 2");
+  const Network two = tech_decompose(input);
+
+  std::vector<int> label(static_cast<std::size_t>(two.num_nodes()), 0);
+  std::map<NodeId, std::vector<NodeId>> cut_of;
+
+  for (NodeId t : two.topo_order()) {
+    const net::Node& node = two.node(t);
+    if (node.kind != net::NodeKind::kLogic) continue;
+    if (node.fanins.empty()) {  // constant
+      label[static_cast<std::size_t>(t)] = 0;
+      cut_of[t] = {};
+      continue;
+    }
+    int p = 0;
+    for (NodeId f : node.fanins) {
+      p = std::max(p, label[static_cast<std::size_t>(f)]);
+    }
+    if (p == 0) {
+      // All fanins are PIs/constants — the trivial cut is K-feasible and the
+      // label-0 collapse below would be degenerate; fall through to the flow
+      // with p == 0 treated like any other height.
+    }
+
+    const auto cone = fanin_cone(two, t);
+    std::unordered_map<NodeId, int> index;
+    for (std::size_t i = 0; i < cone.size(); ++i) {
+      index.emplace(cone[i], static_cast<int>(i));
+    }
+    const int source = 2 * static_cast<int>(cone.size());
+    const int sink = source + 1;
+    ConeFlow flow(static_cast<int>(cone.size()));
+    const int kInf = std::numeric_limits<int>::max() / 4;
+
+    // Collapsed set: t plus every cone node with label == p (height
+    // reduction requires them inside the LUT).
+    auto collapsed = [&](NodeId v) {
+      return v == t || (two.node(v).kind == net::NodeKind::kLogic &&
+                        label[static_cast<std::size_t>(v)] == p);
+    };
+    for (const NodeId v : cone) {
+      const int i = index.at(v);
+      const bool is_pi = two.node(v).kind == net::NodeKind::kInput;
+      if (collapsed(v)) {
+        // Identified with the sink: in->sink, no capacity.
+        flow.add_edge(2 * i, sink, kInf);
+        flow.add_edge(2 * i + 1, sink, kInf);
+      } else {
+        flow.add_edge(2 * i, 2 * i + 1, 1);  // vertex capacity
+      }
+      if (is_pi) flow.add_edge(source, 2 * i, kInf);
+      for (NodeId f : two.node(v).fanins) {
+        const int j = index.at(f);
+        flow.add_edge(2 * j + 1, 2 * i, kInf);
+      }
+    }
+    const int achieved = flow.max_flow(source, sink, k);
+    if (achieved <= k) {
+      label[static_cast<std::size_t>(t)] = std::max(p, 1);
+      const auto reachable = flow.residual_reachable(source);
+      std::vector<NodeId> cut;
+      for (const NodeId v : cone) {
+        const int i = index.at(v);
+        if (collapsed(v)) continue;
+        if (reachable[static_cast<std::size_t>(2 * i)] &&
+            !reachable[static_cast<std::size_t>(2 * i + 1)]) {
+          cut.push_back(v);
+        }
+      }
+      cut_of[t] = std::move(cut);
+    } else {
+      label[static_cast<std::size_t>(t)] = p + 1;
+      cut_of[t] = node.fanins;
+      std::sort(cut_of[t].begin(), cut_of[t].end());
+      cut_of[t].erase(std::unique(cut_of[t].begin(), cut_of[t].end()),
+                      cut_of[t].end());
+    }
+  }
+
+  // ---- Covering: realize the chosen cuts as LUTs, PO cones first.
+  FlowMapResult result;
+  Network& out = result.network;
+  out.set_model_name(input.model_name());
+  std::unordered_map<NodeId, NodeId> realized;
+  for (NodeId pi : two.inputs()) {
+    realized.emplace(pi, out.add_input(two.node(pi).name));
+  }
+
+  std::function<NodeId(NodeId)> realize = [&](NodeId t) -> NodeId {
+    if (const auto it = realized.find(t); it != realized.end()) {
+      return it->second;
+    }
+    const auto& cut = cut_of.at(t);
+    std::vector<NodeId> fanins;
+    for (NodeId c : cut) fanins.push_back(realize(c));
+    // LUT function: evaluate the cone between the cut and t.
+    const int arity = static_cast<int>(cut.size());
+    std::unordered_map<NodeId, int> pin_of;
+    for (int i = 0; i < arity; ++i) pin_of.emplace(cut[static_cast<std::size_t>(i)], i);
+    const tt::TruthTable lut = tt::TruthTable::from_lambda(
+        arity, [&](std::uint64_t m) {
+          std::unordered_map<NodeId, bool> value;
+          std::function<bool(NodeId)> eval_node = [&](NodeId v) -> bool {
+            if (const auto pin = pin_of.find(v); pin != pin_of.end()) {
+              return ((m >> pin->second) & 1) != 0;
+            }
+            if (const auto it = value.find(v); it != value.end()) {
+              return it->second;
+            }
+            const net::Node& n = two.node(v);
+            if (n.kind == net::NodeKind::kInput) {
+              // A PI outside the cut can only be unreachable padding.
+              return false;
+            }
+            std::vector<bool> local(n.fanins.size());
+            for (std::size_t i = 0; i < n.fanins.size(); ++i) {
+              local[i] = eval_node(n.fanins[i]);
+            }
+            local.resize(static_cast<std::size_t>(two.manager().num_vars()),
+                         false);
+            const bool result_bit = two.manager().eval(n.local, local);
+            value.emplace(v, result_bit);
+            return result_bit;
+          };
+          return eval_node(t);
+        });
+    const NodeId lut_node =
+        out.add_logic_tt(out.fresh_name("lut"), std::move(fanins), lut);
+    realized.emplace(t, lut_node);
+    return lut_node;
+  };
+
+  int depth = 0;
+  for (const auto& o : two.outputs()) {
+    const NodeId driver = o.driver;
+    const NodeId mapped = two.node(driver).kind == net::NodeKind::kInput
+                              ? realized.at(driver)
+                              : realize(driver);
+    out.add_output(o.name, mapped);
+    depth = std::max(depth, label[static_cast<std::size_t>(driver)]);
+  }
+  out.sweep();
+  result.depth = depth;
+  result.luts = out.num_logic_nodes();
+  return result;
+}
+
+}  // namespace hyde::mapper

@@ -1,0 +1,36 @@
+/// \file flowmap.hpp
+/// \brief Depth-optimal k-LUT technology mapping (FlowMap, Cong & Ding '94).
+///
+/// An alternative mapping backend to the decomposition flows: the network is
+/// first decomposed into 2-input gates (`tech_decompose`), then every node
+/// is labeled with its optimal LUT depth via repeated max-flow min-cut
+/// computations on its fanin cone, and finally the chosen K-feasible cuts
+/// are realized as LUTs. Depth optimality is FlowMap's theorem; area is
+/// whatever the cuts imply.
+///
+/// Included as the era's canonical point of comparison for decomposition-
+/// based mapping (see bench/ablation_mapping).
+
+#pragma once
+
+#include "net/network.hpp"
+
+namespace hyde::mapper {
+
+/// Rewrites every logic node as a tree of ≤2-input gates (functionally
+/// equivalent, checked by the caller's tests). Constants and single-input
+/// nodes pass through.
+net::Network tech_decompose(const net::Network& network);
+
+struct FlowMapResult {
+  net::Network network;  ///< k-feasible LUT network
+  int depth = 0;         ///< optimal LUT depth (the FlowMap label of the POs)
+  int luts = 0;
+};
+
+/// Maps \p network into k-input LUTs with minimum depth. The input may have
+/// nodes of any arity (tech_decompose is applied internally).
+/// Requires k >= 2.
+FlowMapResult flowmap(const net::Network& network, int k);
+
+}  // namespace hyde::mapper

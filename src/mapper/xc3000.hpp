@@ -1,0 +1,28 @@
+/// \file xc3000.hpp
+/// \brief Xilinx XC3000 CLB packing (the xl_partition -tm stand-in).
+///
+/// An XC3000 CLB realizes either one function of up to 5 inputs or two
+/// functions of up to 4 inputs each sharing at most 5 distinct input
+/// signals. Packing a 5-feasible network is therefore a maximum-matching
+/// problem on the pairing graph of ≤4-input nodes — solved here exactly with
+/// the blossom algorithm from graph/matching.hpp.
+
+#pragma once
+
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace hyde::mapper {
+
+struct ClbPacking {
+  int num_clbs = 0;   ///< total CLBs used
+  int paired = 0;     ///< CLBs hosting two functions
+  int singles = 0;    ///< CLBs hosting one function
+};
+
+/// Packs a 5-feasible network into XC3000 CLBs. Throws std::invalid_argument
+/// if some node has more than 5 inputs.
+ClbPacking pack_xc3000(const net::Network& network);
+
+}  // namespace hyde::mapper

@@ -1,0 +1,70 @@
+/// \file benchmarks.hpp
+/// \brief Synthetic MCNC-like benchmark suite.
+///
+/// The original MCNC netlists are not redistributable here, so every circuit
+/// of the paper's Tables 1 and 2 gets a deterministic generator with the
+/// same name, the same PI/PO counts and the same structural character
+/// (see DESIGN.md §3 for the substitution argument):
+///  - exact public functions where known (9sym, rd73, rd84, z4ml, clip,
+///    f51m, count, C499-style SEC, ALU slices for alu2/alu4/C880);
+///  - seeded PLA stand-ins for the two-level circuits (misex*, duke2, sao2,
+///    apex4, e64, vg2, 5xp1);
+///  - seeded multi-level DAGs for the large circuits (apex6, apex7, rot,
+///    b9) and a DES-like S-box network for des (groups of outputs sharing
+///    supports — the paper's "partially collapsed" treatment).
+///
+/// All generators are pure functions of the circuit name: repeated calls
+/// return identical networks.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace hyde::mcnc {
+
+/// Builds the named benchmark circuit. Throws std::invalid_argument for
+/// unknown names. Deterministic.
+net::Network make_circuit(const std::string& name);
+
+/// Every circuit name this registry can build, alphabetical.
+std::vector<std::string> all_circuits();
+
+/// Paper Table 1 (XC3000 CLB counts; -1 marks the '-' entries).
+struct Table1Row {
+  std::string circuit;
+  int imodec_clb;
+  int fgsyn_clb;
+  int hyde_clb;
+  double cpu_seconds;
+};
+const std::vector<Table1Row>& paper_table1();
+
+/// Paper Table 2 (5-input LUT counts; -1 marks the '-' entries).
+struct Table2Row {
+  std::string circuit;
+  int noresub_lut;
+  int resub_lut;
+  int po_lut;
+  int hyde_lut;
+};
+const std::vector<Table2Row>& paper_table2();
+
+// --- Generic generators (exposed for tests and extra experiments) ---------
+
+/// Seeded two-level (PLA-style) circuit: outputs are grouped, each group
+/// shares one randomly drawn input support of \p support_size; each output
+/// is an OR of \p cubes_per_output random cubes over that support.
+net::Network seeded_pla(const std::string& name, int num_inputs, int num_outputs,
+                        int support_size, int cubes_per_output, int group_size,
+                        std::uint64_t seed);
+
+/// Seeded multi-level random DAG with node arities in
+/// [\p min_arity, \p max_arity], biased toward recent signals.
+net::Network random_multilevel(const std::string& name, int num_inputs,
+                               int num_outputs, int num_nodes, int min_arity,
+                               int max_arity, std::uint64_t seed);
+
+}  // namespace hyde::mcnc

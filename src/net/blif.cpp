@@ -1,0 +1,304 @@
+#include "net/blif.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace hyde::net {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) tokens.push_back(token);
+  return tokens;
+}
+
+/// Reads logical lines: strips comments, joins '\' continuations.
+std::vector<std::vector<std::string>> logical_lines(std::istream& in) {
+  std::vector<std::vector<std::string>> lines;
+  std::string raw, pending;
+  while (std::getline(in, raw)) {
+    if (auto hash = raw.find('#'); hash != std::string::npos) {
+      raw.erase(hash);
+    }
+    bool continued = false;
+    if (auto bs = raw.find_last_not_of(" \t\r");
+        bs != std::string::npos && raw[bs] == '\\') {
+      raw.erase(bs);
+      continued = true;
+    }
+    pending += raw;
+    if (continued) {
+      pending += ' ';
+      continue;
+    }
+    auto tokens = tokenize(pending);
+    pending.clear();
+    if (!tokens.empty()) lines.push_back(std::move(tokens));
+  }
+  return lines;
+}
+
+struct NamesBlock {
+  std::vector<std::string> inputs;
+  std::string output;
+  std::vector<std::string> cubes;  // input parts only
+  char phase = '1';
+  bool phase_set = false;
+};
+
+}  // namespace
+
+namespace {
+
+/// Parsed dot-structure of one BLIF section (main model or .exdc body).
+struct ParsedSection {
+  std::string model_name = "top";
+  std::vector<std::string> input_names, output_names;
+  std::map<std::string, NamesBlock> blocks;
+};
+
+ParsedSection parse_section(const std::vector<std::vector<std::string>>& lines) {
+  ParsedSection section;
+  auto& model_name = section.model_name;
+  auto& input_names = section.input_names;
+  auto& output_names = section.output_names;
+  auto& blocks = section.blocks;
+  NamesBlock* current = nullptr;
+
+  for (const auto& tokens : lines) {
+    const std::string& head = tokens[0];
+    if (head == ".model") {
+      if (tokens.size() >= 2) model_name = tokens[1];
+      current = nullptr;
+    } else if (head == ".inputs") {
+      input_names.insert(input_names.end(), tokens.begin() + 1, tokens.end());
+      current = nullptr;
+    } else if (head == ".outputs") {
+      output_names.insert(output_names.end(), tokens.begin() + 1, tokens.end());
+      current = nullptr;
+    } else if (head == ".names") {
+      if (tokens.size() < 2) throw std::runtime_error("BLIF: .names without signals");
+      NamesBlock block;
+      block.inputs.assign(tokens.begin() + 1, tokens.end() - 1);
+      block.output = tokens.back();
+      auto [it, inserted] = blocks.insert_or_assign(block.output, std::move(block));
+      if (!inserted) {
+        throw std::runtime_error("BLIF: signal defined twice: " + it->first);
+      }
+      current = &it->second;
+    } else if (head == ".end") {
+      current = nullptr;
+    } else if (head == ".latch" || head == ".subckt" || head == ".gate") {
+      throw std::runtime_error("BLIF: unsupported construct " + head +
+                               " (only combinational .names models)");
+    } else if (head[0] == '.') {
+      current = nullptr;  // ignore unknown dot-directives (.default_input_arrival etc.)
+    } else {
+      // Cover row inside the current .names block.
+      if (current == nullptr) {
+        throw std::runtime_error("BLIF: cover row outside .names: " + head);
+      }
+      std::string in_part;
+      char out_part;
+      if (current->inputs.empty()) {
+        if (tokens.size() != 1 || tokens[0].size() != 1) {
+          throw std::runtime_error("BLIF: bad constant cover for " + current->output);
+        }
+        in_part = "";
+        out_part = tokens[0][0];
+      } else {
+        if (tokens.size() != 2 || tokens[0].size() != current->inputs.size() ||
+            tokens[1].size() != 1) {
+          throw std::runtime_error("BLIF: bad cover row for " + current->output);
+        }
+        in_part = tokens[0];
+        out_part = tokens[1][0];
+      }
+      if (out_part != '0' && out_part != '1') {
+        throw std::runtime_error("BLIF: bad output phase for " + current->output);
+      }
+      if (current->phase_set && current->phase != out_part) {
+        throw std::runtime_error("BLIF: mixed output phases for " + current->output);
+      }
+      current->phase = out_part;
+      current->phase_set = true;
+      current->cubes.push_back(in_part);
+    }
+  }
+  return section;
+}
+
+/// Builds a network from a parsed section. When \p missing_outputs_as_zero
+/// is set (the .exdc case) undefined output signals become constant 0.
+Network build_section(const ParsedSection& section,
+                      bool missing_outputs_as_zero) {
+  Network network(section.model_name);
+  for (const auto& name : section.input_names) network.add_input(name);
+
+  // Create logic nodes on demand, following dependencies.
+  std::function<NodeId(const std::string&)> build =
+      [&](const std::string& name) -> NodeId {
+    if (NodeId existing = network.find(name); existing != kNoNode) {
+      return existing;
+    }
+    auto it = section.blocks.find(name);
+    if (it == section.blocks.end()) {
+      throw std::runtime_error("BLIF: undefined signal " + name);
+    }
+    const NamesBlock& block = it->second;
+    std::vector<NodeId> fanins;
+    fanins.reserve(block.inputs.size());
+    for (const auto& in_name : block.inputs) fanins.push_back(build(in_name));
+
+    bdd::Manager& mgr = network.manager();
+    mgr.ensure_vars(static_cast<int>(block.inputs.size()));
+    bdd::Bdd sum = mgr.zero();
+    for (const auto& cube : block.cubes) {
+      bdd::Bdd product = mgr.one();
+      for (std::size_t i = 0; i < cube.size(); ++i) {
+        if (cube[i] == '1') {
+          product = product & mgr.var(static_cast<int>(i));
+        } else if (cube[i] == '0') {
+          product = product & mgr.nvar(static_cast<int>(i));
+        } else if (cube[i] != '-') {
+          throw std::runtime_error("BLIF: bad cube character in " + name);
+        }
+      }
+      sum = sum | product;
+    }
+    if (block.phase == '0') sum = ~sum;
+    return network.add_logic(name, std::move(fanins), std::move(sum));
+  };
+
+  for (const auto& name : section.output_names) {
+    if (missing_outputs_as_zero && section.blocks.count(name) == 0 &&
+        std::find(section.input_names.begin(), section.input_names.end(),
+                  name) == section.input_names.end()) {
+      network.add_output(name, network.add_constant(name, false));
+    } else {
+      network.add_output(name, build(name));
+    }
+  }
+  return network;
+}
+
+}  // namespace
+
+BlifModel read_blif_model(std::istream& in) {
+  const auto lines = logical_lines(in);
+  // Split at `.exdc`: everything after it (up to `.end`) is the don't-care
+  // network's body.
+  std::vector<std::vector<std::string>> main_lines, exdc_lines;
+  bool in_exdc = false;
+  for (const auto& tokens : lines) {
+    if (tokens[0] == ".exdc") {
+      in_exdc = true;
+      continue;
+    }
+    (in_exdc ? exdc_lines : main_lines).push_back(tokens);
+  }
+
+  BlifModel model;
+  const ParsedSection main_section = parse_section(main_lines);
+  model.network = build_section(main_section, /*missing_outputs_as_zero=*/false);
+  model.has_dont_cares = in_exdc;
+  if (in_exdc) {
+    ParsedSection dc_section = parse_section(exdc_lines);
+    // The exdc body shares the main model's interface.
+    dc_section.model_name = main_section.model_name + "_exdc";
+    dc_section.input_names = main_section.input_names;
+    dc_section.output_names = main_section.output_names;
+    model.dont_care = build_section(dc_section, /*missing_outputs_as_zero=*/true);
+  }
+  return model;
+}
+
+BlifModel read_blif_model_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_blif_model(is);
+}
+
+Network read_blif(std::istream& in) {
+  BlifModel model = read_blif_model(in);
+  if (model.has_dont_cares) {
+    throw std::runtime_error(
+        "BLIF: .exdc present; use read_blif_model to keep the don't cares");
+  }
+  return std::move(model.network);
+}
+
+Network read_blif_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_blif(is);
+}
+
+namespace {
+
+/// Enumerates the 1-paths of a local function as BLIF cubes.
+void one_paths(const bdd::Bdd& f, int arity, std::string& cube,
+               std::vector<std::string>& out) {
+  if (f.is_zero()) return;
+  if (f.is_one()) {
+    out.push_back(cube);
+    return;
+  }
+  const int v = f.top_var();
+  cube[static_cast<std::size_t>(v)] = '0';
+  one_paths(f.low(), arity, cube, out);
+  cube[static_cast<std::size_t>(v)] = '1';
+  one_paths(f.high(), arity, cube, out);
+  cube[static_cast<std::size_t>(v)] = '-';
+}
+
+}  // namespace
+
+void write_blif(const Network& network, std::ostream& out) {
+  out << ".model " << network.model_name() << "\n.inputs";
+  for (NodeId id : network.inputs()) out << ' ' << network.node(id).name;
+  out << "\n.outputs";
+  for (const Output& o : network.outputs()) out << ' ' << o.name;
+  out << "\n";
+  for (NodeId id : network.topo_order()) {
+    const Node& n = network.node(id);
+    if (n.kind != NodeKind::kLogic || n.dead) continue;
+    out << ".names";
+    for (NodeId f : n.fanins) out << ' ' << network.node(f).name;
+    out << ' ' << n.name << "\n";
+    std::string cube(n.fanins.size(), '-');
+    std::vector<std::string> cubes;
+    one_paths(n.local, static_cast<int>(n.fanins.size()), cube, cubes);
+    for (const auto& c : cubes) {
+      if (c.empty()) {
+        out << "1\n";
+      } else {
+        out << c << " 1\n";
+      }
+    }
+  }
+  // Buffers for outputs whose name differs from the driving node.
+  for (const Output& o : network.outputs()) {
+    const Node& d = network.node(o.driver);
+    if (d.name != o.name) {
+      out << ".names " << d.name << ' ' << o.name << "\n1 1\n";
+    }
+  }
+  out << ".end\n";
+}
+
+std::string write_blif_string(const Network& network) {
+  std::ostringstream os;
+  write_blif(network, os);
+  return os.str();
+}
+
+}  // namespace hyde::net

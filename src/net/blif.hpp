@@ -1,0 +1,48 @@
+/// \file blif.hpp
+/// \brief BLIF (Berkeley Logic Interchange Format) reader and writer.
+///
+/// Supports the combinational subset used by the MCNC benchmarks:
+/// `.model`, `.inputs`, `.outputs`, `.names` (SOP covers with `0`/`1`/`-`
+/// inputs and a constant output phase), comments and line continuations.
+/// Latches and subcircuits are rejected with a descriptive error.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "net/network.hpp"
+
+namespace hyde::net {
+
+/// Parses a BLIF model from a stream. Throws std::runtime_error on syntax
+/// errors or unsupported constructs (including `.exdc`; use read_blif_model
+/// for networks with external don't cares).
+Network read_blif(std::istream& in);
+
+/// Parses a BLIF model from a string.
+Network read_blif_string(const std::string& text);
+
+/// A BLIF model with an optional `.exdc` external-don't-care network.
+struct BlifModel {
+  Network network;
+  Network dont_care;        ///< same PIs; one output per exdc-covered PO
+  bool has_dont_cares = false;
+};
+
+/// Parses a BLIF model, accepting an `.exdc` section: the don't-care network
+/// shares the main model's primary inputs; POs without an exdc cover get a
+/// constant-0 don't-care function.
+BlifModel read_blif_model(std::istream& in);
+
+/// Parses a BLIF model (with optional `.exdc`) from a string.
+BlifModel read_blif_model_string(const std::string& text);
+
+/// Writes the network in BLIF. Every live logic node becomes a `.names`
+/// block whose cover is derived from the node's BDD 1-paths (a disjoint SOP).
+void write_blif(const Network& network, std::ostream& out);
+
+/// Writes the network to a BLIF string.
+std::string write_blif_string(const Network& network);
+
+}  // namespace hyde::net

@@ -1,0 +1,46 @@
+/// \file pla.hpp
+/// \brief Espresso PLA format reader/writer (the format the MCNC two-level
+/// benchmarks ship in).
+///
+/// Supported: `.i`, `.o`, `.p`, `.ilb`, `.ob`, `.type f|fd`, cube rows with
+/// `0/1/-` inputs and `0/1/-/~/4` outputs, `.e`/`.end`. Under the default
+/// `fd` semantics an output `1` adds the cube to that output's onset and a
+/// `-` to its don't-care set; `0`, `~` and `4` leave the cube out of the
+/// cover.
+///
+/// Don't-care cubes produce a parallel network whose outputs are the DC
+/// functions — the flow consumes them as external don't cares
+/// (FlowOptions/run_flow's exdc parameter).
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "net/network.hpp"
+
+namespace hyde::net {
+
+/// A parsed PLA: onset network plus (optionally) a same-interface network of
+/// don't-care functions.
+struct PlaModel {
+  Network onset;
+  Network dont_care;       ///< same PIs/PO names; meaningful iff has_dont_cares
+  bool has_dont_cares = false;
+};
+
+/// Parses an espresso-format PLA. Throws std::runtime_error on bad syntax.
+PlaModel read_pla(std::istream& in, const std::string& model_name = "pla");
+
+/// Parses a PLA from a string.
+PlaModel read_pla_string(const std::string& text,
+                         const std::string& model_name = "pla");
+
+/// Writes the network as a single-level PLA (every output is flattened to a
+/// cover of its global function; supports up to 20 primary inputs).
+void write_pla(const Network& network, std::ostream& out);
+
+/// Writes the network to a PLA string.
+std::string write_pla_string(const Network& network);
+
+}  // namespace hyde::net

@@ -1,0 +1,296 @@
+#include "tt/truth_table.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace hyde::tt {
+
+namespace {
+
+std::size_t word_count(int num_vars) {
+  const std::uint64_t bits = std::uint64_t{1} << num_vars;
+  return static_cast<std::size_t>((bits + 63) / 64);
+}
+
+// Repeating masks of variable i within one 64-bit word, for i < 6:
+// bit m of kVarMask[i] is (m >> i) & 1.
+constexpr std::uint64_t kVarMask[6] = {
+    0xAAAAAAAAAAAAAAAAull, 0xCCCCCCCCCCCCCCCCull, 0xF0F0F0F0F0F0F0F0ull,
+    0xFF00FF00FF00FF00ull, 0xFFFF0000FFFF0000ull, 0xFFFFFFFF00000000ull};
+
+}  // namespace
+
+TruthTable::TruthTable(int num_vars) : num_vars_(num_vars) {
+  if (num_vars < 0 || num_vars > kMaxVars) {
+    throw std::invalid_argument("TruthTable: variable count out of range");
+  }
+  words_.assign(word_count(num_vars), 0);
+}
+
+TruthTable TruthTable::ones(int num_vars) {
+  TruthTable t(num_vars);
+  for (auto& w : t.words_) w = ~std::uint64_t{0};
+  t.mask_tail();
+  return t;
+}
+
+TruthTable TruthTable::var(int num_vars, int v) {
+  if (v < 0 || v >= num_vars) {
+    throw std::invalid_argument("TruthTable::var: variable out of range");
+  }
+  TruthTable t(num_vars);
+  if (v < 6) {
+    for (auto& w : t.words_) w = kVarMask[v];
+  } else {
+    // Whole words alternate in blocks of 2^(v-6) words.
+    const std::size_t block = std::size_t{1} << (v - 6);
+    for (std::size_t i = 0; i < t.words_.size(); ++i) {
+      if ((i / block) & 1) t.words_[i] = ~std::uint64_t{0};
+    }
+  }
+  t.mask_tail();
+  return t;
+}
+
+TruthTable TruthTable::from_bits(std::string_view bits) {
+  const std::uint64_t n = bits.size();
+  int num_vars = 0;
+  while ((std::uint64_t{1} << num_vars) < n) ++num_vars;
+  if ((std::uint64_t{1} << num_vars) != n) {
+    throw std::invalid_argument("TruthTable::from_bits: length not a power of two");
+  }
+  TruthTable t(num_vars);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const char c = bits[static_cast<std::size_t>(i)];
+    if (c != '0' && c != '1') {
+      throw std::invalid_argument("TruthTable::from_bits: non-binary character");
+    }
+    if (c == '1') t.set_bit(n - 1 - i, true);
+  }
+  return t;
+}
+
+TruthTable TruthTable::minterm(int num_vars, std::uint64_t m) {
+  TruthTable t(num_vars);
+  if (m >= t.size()) {
+    throw std::invalid_argument("TruthTable::minterm: index out of range");
+  }
+  t.set_bit(m, true);
+  return t;
+}
+
+TruthTable TruthTable::symmetric(int num_vars, const std::vector<int>& ones_counts) {
+  std::vector<bool> wanted(static_cast<std::size_t>(num_vars) + 1, false);
+  for (int c : ones_counts) {
+    if (c >= 0 && c <= num_vars) wanted[static_cast<std::size_t>(c)] = true;
+  }
+  return from_lambda(num_vars, [&wanted](std::uint64_t m) {
+    return wanted[static_cast<std::size_t>(std::popcount(m))];
+  });
+}
+
+TruthTable TruthTable::from_lambda(int num_vars,
+                                   const std::function<bool(std::uint64_t)>& fn) {
+  TruthTable t(num_vars);
+  for (std::uint64_t m = 0; m < t.size(); ++m) {
+    if (fn(m)) t.set_bit(m, true);
+  }
+  return t;
+}
+
+void TruthTable::set_bit(std::uint64_t m, bool value) {
+  const std::uint64_t mask = std::uint64_t{1} << (m & 63);
+  if (value) {
+    words_[m >> 6] |= mask;
+  } else {
+    words_[m >> 6] &= ~mask;
+  }
+}
+
+bool TruthTable::is_zero() const {
+  for (auto w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+bool TruthTable::is_one() const { return *this == ones(num_vars_); }
+
+std::uint64_t TruthTable::count_ones() const {
+  std::uint64_t total = 0;
+  for (auto w : words_) total += static_cast<std::uint64_t>(std::popcount(w));
+  return total;
+}
+
+bool TruthTable::depends_on(int v) const {
+  return cofactor(v, false) != cofactor(v, true);
+}
+
+std::vector<int> TruthTable::support() const {
+  std::vector<int> vars;
+  for (int v = 0; v < num_vars_; ++v) {
+    if (depends_on(v)) vars.push_back(v);
+  }
+  return vars;
+}
+
+TruthTable TruthTable::cofactor(int v, bool value) const {
+  if (v < 0 || v >= num_vars_) {
+    throw std::invalid_argument("TruthTable::cofactor: variable out of range");
+  }
+  TruthTable r(*this);
+  if (v < 6) {
+    const std::uint64_t keep = value ? kVarMask[v] : ~kVarMask[v];
+    const int shift = 1 << v;
+    for (auto& w : r.words_) {
+      const std::uint64_t half = w & keep;
+      w = value ? (half | (half >> shift)) : (half | (half << shift));
+    }
+  } else {
+    const std::size_t block = std::size_t{1} << (v - 6);
+    for (std::size_t i = 0; i < r.words_.size(); i += 2 * block) {
+      for (std::size_t j = 0; j < block; ++j) {
+        const std::uint64_t w = value ? words_[i + block + j] : words_[i + j];
+        r.words_[i + j] = w;
+        r.words_[i + block + j] = w;
+      }
+    }
+  }
+  return r;
+}
+
+TruthTable TruthTable::exists(int v) const {
+  return cofactor(v, false) | cofactor(v, true);
+}
+
+TruthTable TruthTable::forall(int v) const {
+  return cofactor(v, false) & cofactor(v, true);
+}
+
+TruthTable TruthTable::permute(const std::vector<int>& perm) const {
+  if (static_cast<int>(perm.size()) != num_vars_) {
+    throw std::invalid_argument("TruthTable::permute: bad permutation size");
+  }
+  TruthTable r(num_vars_);
+  for (std::uint64_t m = 0; m < size(); ++m) {
+    if (!bit(m)) continue;
+    // Old minterm m maps variable perm[i] to new position i.
+    std::uint64_t nm = 0;
+    for (int i = 0; i < num_vars_; ++i) {
+      if ((m >> perm[static_cast<std::size_t>(i)]) & 1) nm |= std::uint64_t{1} << i;
+    }
+    r.set_bit(nm, true);
+  }
+  return r;
+}
+
+TruthTable TruthTable::project(const std::vector<int>& vars) const {
+  TruthTable r(static_cast<int>(vars.size()));
+  for (std::uint64_t m = 0; m < r.size(); ++m) {
+    std::uint64_t full = 0;
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      if ((m >> i) & 1) full |= std::uint64_t{1} << vars[i];
+    }
+    if (bit(full)) r.set_bit(m, true);
+  }
+  return r;
+}
+
+TruthTable TruthTable::expand(int new_num_vars,
+                              const std::vector<int>& placement) const {
+  if (static_cast<int>(placement.size()) != num_vars_) {
+    throw std::invalid_argument("TruthTable::expand: bad placement size");
+  }
+  TruthTable r(new_num_vars);
+  for (std::uint64_t m = 0; m < r.size(); ++m) {
+    std::uint64_t small = 0;
+    for (int i = 0; i < num_vars_; ++i) {
+      if ((m >> placement[static_cast<std::size_t>(i)]) & 1) {
+        small |= std::uint64_t{1} << i;
+      }
+    }
+    if (bit(small)) r.set_bit(m, true);
+  }
+  return r;
+}
+
+TruthTable TruthTable::operator~() const {
+  TruthTable r(*this);
+  for (auto& w : r.words_) w = ~w;
+  r.mask_tail();
+  return r;
+}
+
+TruthTable& TruthTable::operator&=(const TruthTable& rhs) {
+  check_same_shape(rhs);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= rhs.words_[i];
+  return *this;
+}
+
+TruthTable& TruthTable::operator|=(const TruthTable& rhs) {
+  check_same_shape(rhs);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= rhs.words_[i];
+  return *this;
+}
+
+TruthTable& TruthTable::operator^=(const TruthTable& rhs) {
+  check_same_shape(rhs);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= rhs.words_[i];
+  return *this;
+}
+
+bool TruthTable::implies(const TruthTable& rhs) const {
+  check_same_shape(rhs);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & ~rhs.words_[i]) return false;
+  }
+  return true;
+}
+
+std::string TruthTable::to_bits() const {
+  std::string s;
+  s.reserve(static_cast<std::size_t>(size()));
+  for (std::uint64_t i = 0; i < size(); ++i) {
+    s.push_back(bit(size() - 1 - i) ? '1' : '0');
+  }
+  return s;
+}
+
+std::uint64_t TruthTable::hash() const {
+  std::uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(num_vars_));
+  for (auto w : words_) mix(w);
+  return h;
+}
+
+void TruthTable::check_same_shape(const TruthTable& rhs) const {
+  if (num_vars_ != rhs.num_vars_) {
+    throw std::invalid_argument("TruthTable: variable count mismatch");
+  }
+}
+
+void TruthTable::mask_tail() {
+  if (num_vars_ < 6) {
+    words_[0] &= (std::uint64_t{1} << (std::uint64_t{1} << num_vars_)) - 1;
+  }
+}
+
+bool Isf::compatible_with(const Isf& rhs) const {
+  return (on & rhs.off()).is_zero() && (rhs.on & off()).is_zero();
+}
+
+Isf Isf::merged_with(const Isf& rhs) const {
+  const TruthTable merged_on = on | rhs.on;
+  const TruthTable merged_care = on | off() | rhs.on | rhs.off();
+  return {merged_on, ~merged_care};
+}
+
+std::uint64_t Isf::hash() const {
+  return on.hash() * 1000003ull ^ dc.hash();
+}
+
+}  // namespace hyde::tt

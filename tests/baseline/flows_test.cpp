@@ -1,0 +1,72 @@
+#include "baseline/flows.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mcnc/benchmarks.hpp"
+
+namespace hyde::baseline {
+namespace {
+
+TEST(Systems, NamesAreDistinct) {
+  EXPECT_EQ(system_name(System::kHyde), "HYDE");
+  EXPECT_NE(system_name(System::kImodecLike), system_name(System::kFgsynLike));
+  EXPECT_NE(system_name(System::kSawadaLike),
+            system_name(System::kSawadaResubLike));
+}
+
+class SystemOnCircuit
+    : public ::testing::TestWithParam<std::tuple<System, const char*>> {};
+
+TEST_P(SystemOnCircuit, ProducesVerifiedFeasibleNetwork) {
+  const auto [system, circuit] = GetParam();
+  const auto input = mcnc::make_circuit(circuit);
+  const auto result = run_system(input, system, 5, 256);
+  EXPECT_TRUE(result.verified) << system_name(system) << " on " << circuit;
+  EXPECT_TRUE(result.network.is_k_feasible(5));
+  EXPECT_GT(result.luts, 0);
+  EXPECT_GT(result.clbs, 0);
+  EXPECT_LE(result.clbs, result.luts);
+  EXPECT_GT(result.depth, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallSuite, SystemOnCircuit,
+    ::testing::Combine(::testing::Values(System::kHyde, System::kImodecLike,
+                                         System::kFgsynLike, System::kSawadaLike,
+                                         System::kSawadaResubLike),
+                       ::testing::Values("rd73", "9sym", "misex1", "z4ml")),
+    [](const ::testing::TestParamInfo<SystemOnCircuit::ParamType>& param_info) {
+      std::string name = system_name(std::get<0>(param_info.param)) + "_" +
+                         std::get<1>(param_info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(Systems, HydeCompetitiveOnMultiOutput) {
+  // On a multi-output arithmetic circuit HYDE (hyper + encoding) should not
+  // lose badly to the plain random-encoding flow.
+  const auto input = mcnc::make_circuit("rd84");
+  const auto hyde = run_system(input, System::kHyde, 5, 0);
+  const auto plain = run_system(input, System::kSawadaLike, 5, 0);
+  EXPECT_TRUE(hyde.network.is_k_feasible(5));
+  EXPECT_LE(hyde.luts, plain.luts + 3);
+}
+
+TEST(Systems, K4FlowSkipsClbPacking) {
+  const auto input = mcnc::make_circuit("rd73");
+  const auto result = run_system(input, System::kHyde, 4, 0);
+  EXPECT_TRUE(result.network.is_k_feasible(4));
+  EXPECT_EQ(result.clbs, 0);  // CLB metric is XC3000/k=5 only
+}
+
+TEST(Systems, TimingIsRecorded) {
+  const auto input = mcnc::make_circuit("rd73");
+  const auto result = run_system(input, System::kHyde, 5, 0);
+  EXPECT_GE(result.seconds, 0.0);
+  EXPECT_LT(result.seconds, 60.0);
+}
+
+}  // namespace
+}  // namespace hyde::baseline

@@ -1,0 +1,165 @@
+/// Reproduces Example 3.2 of the paper (Figures 4-7): the ten literal
+/// partitions Π0..Π9 placed into a 4x4 encoding chart.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/encoder.hpp"
+
+namespace hyde::core {
+namespace {
+
+using decomp::Partition;
+
+std::vector<Partition> example32_partitions() {
+  return {
+      Partition{{0, 1, 2, 3}},  // Π0
+      Partition{{0, 2, 1, 3}},  // Π1
+      Partition{{3, 0, 1, 3}},  // Π2
+      Partition{{2, 1, 0, 1}},  // Π3
+      Partition{{0, 1, 3, 1}},  // Π4
+      Partition{{0, 1, 0, 2}},  // Π5
+      Partition{{1, 0, 0, 0}},  // Π6
+      Partition{{1, 1, 2, 1}},  // Π7
+      Partition{{1, 2, 1, 2}},  // Π8
+      Partition{{3, 2, 1, 0}},  // Π9
+  };
+}
+
+bool contains_set(const std::vector<std::vector<int>>& sets,
+                  std::vector<int> wanted) {
+  std::sort(wanted.begin(), wanted.end());
+  for (auto s : sets) {
+    std::sort(s.begin(), s.end());
+    if (s == wanted) return true;
+  }
+  return false;
+}
+
+TEST(Example32, PscTableMatchesFigure4) {
+  const auto assembly = assemble_chart(example32_partitions(), 4, 4);
+  // Figure 4(b): p0p3 -> {Π2, Π7}; p1p3 -> {Π3, Π4, Π6(?), Π7(?), Π8(?)};
+  // p0p2 -> {Π5, Π8}. Figure 4(a) gives per-partition Psc's:
+  //   Π2: p0p3; Π3: p1p3; Π4: p1p3; Π5: p0p2; Π6: p1p2p3; Π7: p0p1p3;
+  //   Π8: p0p2 and p1p3.
+  auto find_record = [&](const std::vector<int>& positions)
+      -> const PscRecord* {
+    for (const auto& rec : assembly.psc_table) {
+      if (rec.positions == positions) return &rec;
+    }
+    return nullptr;
+  };
+  const PscRecord* p0p3 = find_record({0, 3});
+  ASSERT_NE(p0p3, nullptr);
+  EXPECT_EQ(p0p3->partitions, (std::vector<int>{2, 7}));
+
+  const PscRecord* p1p3 = find_record({1, 3});
+  ASSERT_NE(p1p3, nullptr);
+  // Partitions whose own Psc is exactly p1p3: Π3, Π4, Π8 (Π6 has p1p2p3 and
+  // Π7 has p0p1p3 as their *maximal* same-content sets; the paper's Figure
+  // 4(b) groups them with p1p3 because p1p3 is a *subset* of those).
+  for (int expected : {3, 4, 8}) {
+    EXPECT_NE(std::find(p1p3->partitions.begin(), p1p3->partitions.end(),
+                        expected),
+              p1p3->partitions.end())
+        << "missing partition " << expected;
+  }
+
+  const PscRecord* p0p2 = find_record({0, 2});
+  ASSERT_NE(p0p2, nullptr);
+  EXPECT_EQ(p0p2->partitions, (std::vector<int>{5, 8}));
+}
+
+TEST(Example32, ChartFitsFourByFour) {
+  const auto partitions = example32_partitions();
+  const auto assembly = assemble_chart(partitions, 4, 4);
+  ASSERT_TRUE(assembly.success);
+  EXPECT_LE(static_cast<int>(assembly.row_sets.size()), 4);
+  EXPECT_LE(static_cast<int>(assembly.final_column_sets.size()), 4);
+  // Every partition placed exactly once, with unique (row, col) cells.
+  std::set<std::pair<int, int>> cells;
+  for (int i = 0; i < 10; ++i) {
+    const int r = assembly.row_of[static_cast<std::size_t>(i)];
+    const int c = assembly.col_of[static_cast<std::size_t>(i)];
+    ASSERT_GE(r, 0);
+    ASSERT_GE(c, 0);
+    EXPECT_LT(r, 4);
+    EXPECT_LT(c, 4);
+    EXPECT_TRUE(cells.insert({r, c}).second) << "cell collision for " << i;
+  }
+}
+
+TEST(Example32, ColumnSetsShareContentPositions) {
+  // Whatever exact grouping the heuristics pick, partitions matched into one
+  // Step-5 column set must share a same-content position set — the paper's
+  // criterion for reduced conjunction multiplicity.
+  const auto partitions = example32_partitions();
+  const auto assembly = assemble_chart(partitions, 4, 4);
+  for (const auto& colset : assembly.column_sets) {
+    if (colset.size() < 2) continue;
+    std::vector<decomp::Partition> parts;
+    for (int m : colset) parts.push_back(partitions[static_cast<std::size_t>(m)]);
+    const auto conj = decomp::conjunction(parts);
+    // Stacking reduced the multiplicity below the worst case (4 positions
+    // all distinct), i.e. some positions still share content.
+    EXPECT_LT(conj.multiplicity(), conj.num_positions())
+        << "column set without shared content";
+  }
+}
+
+TEST(Example32, ReproducesPaperColumnSets) {
+  // Figure 5's matching result is {Π3,Π4,Π6,Π8} + {Π2,Π7} + 4 singletons.
+  // Our exact b-matching finds an equally optimal tie: the Psc13 set can
+  // absorb Π7 or Π8 (both weight 40 in Gc). Accept either optimum: a
+  // 4-member Psc13 set containing {Π3,Π4,Π6} and the displaced partner
+  // paired through its alternative Psc.
+  const auto assembly = assemble_chart(example32_partitions(), 4, 4);
+  EXPECT_EQ(assembly.column_sets.size(), 6u);
+  const bool paper_tie = contains_set(assembly.column_sets, {3, 4, 6, 8}) &&
+                         contains_set(assembly.column_sets, {2, 7});
+  const bool mirror_tie = contains_set(assembly.column_sets, {3, 4, 6, 7}) &&
+                          contains_set(assembly.column_sets, {5, 8});
+  EXPECT_TRUE(paper_tie || mirror_tie);
+}
+
+TEST(Example32, RowSetsPairPartitions) {
+  // Figure 6(a): first-pass row pairs {Π7,Π8}, {Π5,Π6}, {Π2,Π4}, {Π0,Π9},
+  // {Π1,Π3}; Figure 7(a) merges {Π1,Π3} with {Π0,Π9}. The heuristics here
+  // must at least end with 4 rows of sizes {4,2,2,2} or {3,3,2,2} covering
+  // all ten partitions.
+  const auto assembly = assemble_chart(example32_partitions(), 4, 4);
+  ASSERT_TRUE(assembly.success);
+  ASSERT_EQ(assembly.row_sets.size(), 4u);
+  std::vector<int> sizes;
+  int total = 0;
+  for (const auto& row : assembly.row_sets) {
+    sizes.push_back(static_cast<int>(row.size()));
+    total += static_cast<int>(row.size());
+  }
+  EXPECT_EQ(total, 10);
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_GE(sizes.front(), 2);
+  EXPECT_LE(sizes.back(), 4);
+}
+
+TEST(Example32, SmallerChartStillAssembles) {
+  // The same partitions in an 8x2 or 2x8 chart must also assemble.
+  for (const auto [rows, cols] : {std::pair{8, 2}, std::pair{2, 8}}) {
+    const auto assembly = assemble_chart(example32_partitions(), rows, cols);
+    ASSERT_TRUE(assembly.success) << rows << "x" << cols;
+    EXPECT_LE(static_cast<int>(assembly.row_sets.size()), rows);
+    EXPECT_LE(static_cast<int>(assembly.final_column_sets.size()), cols);
+    std::set<std::pair<int, int>> cells;
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_TRUE(cells
+                      .insert({assembly.row_of[static_cast<std::size_t>(i)],
+                               assembly.col_of[static_cast<std::size_t>(i)]})
+                      .second);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hyde::core

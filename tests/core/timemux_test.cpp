@@ -1,0 +1,100 @@
+#include "core/timemux.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mapper/lutmap.hpp"
+#include "tt/truth_table.hpp"
+
+namespace hyde::core {
+namespace {
+
+using hyde::bdd::Bdd;
+using hyde::bdd::Manager;
+using hyde::decomp::IsfBdd;
+using hyde::tt::TruthTable;
+
+TEST(TimeMux, ThreeSlotsShareOneNetwork) {
+  Manager mgr(12);
+  const Bdd x0 = mgr.var(0), x1 = mgr.var(1), x2 = mgr.var(2),
+            x3 = mgr.var(3), x4 = mgr.var(4);
+  const std::vector<IsfBdd> slots{
+      IsfBdd{x0 ^ x1 ^ x4, mgr.zero()},
+      IsfBdd{(x0 & x1) | (x2 & x3), mgr.zero()},
+      IsfBdd{mgr.from_truth_table(TruthTable::symmetric(5, {3, 4, 5})),
+             mgr.zero()},
+  };
+  const std::vector<int> data_vars{0, 1, 2, 3, 4};
+  const std::vector<std::string> names{"d0", "d1", "d2", "d3", "d4"};
+  const auto result =
+      build_time_multiplexed(mgr, slots, data_vars, names, hyde_options(5));
+
+  EXPECT_EQ(result.num_mode_bits, 2);
+  ASSERT_EQ(result.slot_codes.size(), 3u);
+  // Codes are distinct (strict).
+  std::set<std::uint32_t> codes(result.slot_codes.begin(),
+                                result.slot_codes.end());
+  EXPECT_EQ(codes.size(), 3u);
+  // Interface: 5 data + 2 mode inputs, 1 output, k-feasible.
+  EXPECT_EQ(result.network.inputs().size(), 7u);
+  EXPECT_EQ(result.network.outputs().size(), 1u);
+  EXPECT_TRUE(result.network.is_k_feasible(5));
+
+  // Every slot behaves exactly per spec under its mode word.
+  for (std::size_t slot = 0; slot < slots.size(); ++slot) {
+    const std::uint32_t code = result.slot_codes[slot];
+    for (std::uint64_t m = 0; m < 32; ++m) {
+      std::vector<bool> assign(7);
+      for (int i = 0; i < 5; ++i) assign[static_cast<std::size_t>(i)] = ((m >> i) & 1) != 0;
+      assign[5] = (code & 1) != 0;
+      assign[6] = (code & 2) != 0;
+      std::vector<bool> data(static_cast<std::size_t>(mgr.num_vars()), false);
+      for (int i = 0; i < 5; ++i) data[static_cast<std::size_t>(i)] = assign[static_cast<std::size_t>(i)];
+      EXPECT_EQ(result.network.eval(assign)[0], mgr.eval(slots[slot].on, data))
+          << "slot " << slot << " m " << m;
+    }
+  }
+}
+
+TEST(TimeMux, SingleSlotDegenerates) {
+  Manager mgr(4);
+  const std::vector<IsfBdd> slots{IsfBdd{mgr.var(0) & mgr.var(1), mgr.zero()}};
+  const auto result = build_time_multiplexed(
+      mgr, slots, {0, 1}, {"a", "b"}, hyde_options(5));
+  EXPECT_EQ(result.num_mode_bits, 0);
+  EXPECT_EQ(result.network.inputs().size(), 2u);
+  EXPECT_TRUE(result.network.eval({true, true})[0]);
+  EXPECT_FALSE(result.network.eval({true, false})[0]);
+}
+
+TEST(TimeMux, UnusedSlotIsDontCare) {
+  // 3 slots in 2 mode bits: the 4th mode word is free for the optimizer;
+  // the network may implement anything there. Only check the defined slots.
+  Manager mgr(8);
+  const std::vector<IsfBdd> slots{
+      IsfBdd{mgr.var(0), mgr.zero()},
+      IsfBdd{~mgr.var(0), mgr.zero()},
+      IsfBdd{mgr.var(0) ^ mgr.var(1), mgr.zero()},
+  };
+  const auto result = build_time_multiplexed(mgr, slots, {0, 1}, {"a", "b"},
+                                             hyde_options(4));
+  // Smaller than implementing four independent functions: at most 3 LUTs.
+  net::Network net_copy = std::move(const_cast<TimeMultiplexed&>(result).network);
+  mapper::dedup_shared_nodes(net_copy);
+  mapper::collapse_into_fanouts(net_copy, 4);
+  EXPECT_LE(mapper::lut_count(net_copy), 3);
+}
+
+TEST(TimeMux, Validation) {
+  Manager mgr(4);
+  EXPECT_THROW(build_time_multiplexed(mgr, {}, {}, {}, hyde_options(5)),
+               std::invalid_argument);
+  const std::vector<IsfBdd> one{IsfBdd{mgr.var(0), mgr.zero()}};
+  EXPECT_THROW(
+      build_time_multiplexed(mgr, one, {0, 1}, {"a"}, hyde_options(5)),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hyde::core

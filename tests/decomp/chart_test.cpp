@@ -1,0 +1,139 @@
+#include "decomp/chart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "tt/truth_table.hpp"
+
+namespace hyde::decomp {
+namespace {
+
+using hyde::bdd::Bdd;
+using hyde::bdd::Manager;
+using hyde::tt::TruthTable;
+
+DecompSpec make_spec(Manager& mgr, const Bdd& on, const Bdd& dc,
+                     std::vector<int> bound, std::vector<int> free) {
+  DecompSpec spec;
+  spec.mgr = &mgr;
+  spec.f = IsfBdd{on, dc};
+  spec.bound = std::move(bound);
+  spec.free = std::move(free);
+  return spec;
+}
+
+TEST(Chart, XorHasTwoColumns) {
+  // f = x0 ^ x1 ^ x2 ^ x3 with bound {0,1}: cofactors are parity and its
+  // complement -> exactly 2 distinct columns.
+  Manager mgr(4);
+  const Bdd f = mgr.var(0) ^ mgr.var(1) ^ mgr.var(2) ^ mgr.var(3);
+  const auto spec = make_spec(mgr, f, mgr.zero(), {0, 1}, {2, 3});
+  const auto columns = enumerate_columns(spec);
+  EXPECT_EQ(columns.size(), 2u);
+  EXPECT_EQ(count_columns(spec), 2);
+  // Each column covers two of the four bound minterms.
+  EXPECT_EQ(columns[0].minterms.size(), 2u);
+  EXPECT_EQ(columns[1].minterms.size(), 2u);
+  // Indicators partition the bound space.
+  EXPECT_TRUE(mgr.disjoint(columns[0].indicator, columns[1].indicator));
+  EXPECT_EQ(columns[0].indicator | columns[1].indicator, mgr.one());
+}
+
+TEST(Chart, AndHasTwoColumns) {
+  // f = x0&x1&x2: bound {0,1} -> columns {0, x2}.
+  Manager mgr(3);
+  const Bdd f = mgr.var(0) & mgr.var(1) & mgr.var(2);
+  const auto spec = make_spec(mgr, f, mgr.zero(), {0, 1}, {2});
+  const auto columns = enumerate_columns(spec);
+  ASSERT_EQ(columns.size(), 2u);
+  // The column for minterms 00,01,10 is constant zero; 11 gives x2.
+  const auto& zero_col = columns[0].minterms.size() == 3 ? columns[0] : columns[1];
+  const auto& var_col = columns[0].minterms.size() == 3 ? columns[1] : columns[0];
+  EXPECT_TRUE(zero_col.pattern.on.is_zero());
+  EXPECT_EQ(var_col.pattern.on, mgr.var(2));
+  EXPECT_EQ(var_col.minterms, (std::vector<std::uint64_t>{3}));
+}
+
+TEST(Chart, FullBoundSetYieldsConstantPatterns) {
+  Manager mgr(3);
+  const Bdd f = (mgr.var(0) & mgr.var(1)) | mgr.var(2);
+  const auto spec = make_spec(mgr, f, mgr.zero(), {0, 1, 2}, {});
+  const auto columns = enumerate_columns(spec);
+  EXPECT_EQ(columns.size(), 2u);  // constant 0 and constant 1
+  for (const auto& c : columns) {
+    EXPECT_TRUE(c.pattern.on.is_constant());
+  }
+}
+
+TEST(Chart, EmptyBoundSetIsOneColumn) {
+  Manager mgr(3);
+  const Bdd f = mgr.var(0) ^ mgr.var(2);
+  const auto spec = make_spec(mgr, f, mgr.zero(), {}, {0, 1, 2});
+  const auto columns = enumerate_columns(spec);
+  ASSERT_EQ(columns.size(), 1u);
+  EXPECT_EQ(columns[0].pattern.on, f);
+  EXPECT_TRUE(columns[0].indicator.is_one());
+}
+
+TEST(Chart, DontCaresSplitColumns) {
+  // on = x0 & x1 (bound {0}): columns differ; dc changes column identity.
+  Manager mgr(2);
+  const Bdd on = mgr.var(0) & mgr.var(1);
+  const Bdd dc = ~mgr.var(0) & mgr.var(1);  // x0=0,x1=1 is don't care
+  const auto spec = make_spec(mgr, on, dc, {0}, {1});
+  const auto columns = enumerate_columns(spec);
+  // Column x0=0: on=0, dc=x1. Column x0=1: on=x1, dc=0. Distinct pairs.
+  EXPECT_EQ(columns.size(), 2u);
+}
+
+TEST(Chart, RejectsOversizedBoundSet) {
+  Manager mgr(20);
+  DecompSpec spec;
+  spec.mgr = &mgr;
+  spec.f = IsfBdd{mgr.zero(), mgr.zero()};
+  spec.bound.resize(kMaxBoundVars + 1, 0);
+  EXPECT_THROW(enumerate_columns(spec), std::invalid_argument);
+  EXPECT_THROW(count_columns(spec), std::invalid_argument);
+  DecompSpec null_spec;
+  EXPECT_THROW(enumerate_columns(null_spec), std::invalid_argument);
+}
+
+TEST(Chart, MintermCubeBuildsCorrectCube) {
+  Manager mgr(5);
+  const Bdd cube = minterm_cube(mgr, {1, 3, 4}, 0b101);  // x1=1, x3=0, x4=1
+  EXPECT_EQ(cube, mgr.var(1) & mgr.nvar(3) & mgr.var(4));
+  EXPECT_EQ(minterm_cube(mgr, {}, 0), mgr.one());
+}
+
+TEST(Chart, ColumnsPartitionBoundSpaceRandomly) {
+  std::mt19937_64 rng(123);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 6;
+    Manager mgr(n);
+    const TruthTable table = TruthTable::from_lambda(
+        n, [&rng](std::uint64_t) { return (rng() & 1) != 0; });
+    const Bdd f = mgr.from_truth_table(table);
+    const auto spec = make_spec(mgr, f, mgr.zero(), {0, 1, 2}, {3, 4, 5});
+    const auto columns = enumerate_columns(spec);
+    // Minterm lists are disjoint and cover all 8 bound assignments.
+    std::vector<int> hit(8, 0);
+    bdd::Bdd union_ind = mgr.zero();
+    for (const auto& c : columns) {
+      for (std::uint64_t m : c.minterms) ++hit[static_cast<std::size_t>(m)];
+      union_ind = union_ind | c.indicator;
+      // The pattern equals the cofactor at each member minterm.
+      for (std::uint64_t m : c.minterms) {
+        std::vector<std::pair<int, bool>> assignment;
+        for (int i = 0; i < 3; ++i) assignment.emplace_back(i, ((m >> i) & 1) != 0);
+        EXPECT_EQ(mgr.cofactor_cube(f, assignment), c.pattern.on);
+      }
+    }
+    for (int m = 0; m < 8; ++m) EXPECT_EQ(hit[static_cast<std::size_t>(m)], 1);
+    EXPECT_TRUE(union_ind.is_one());
+    EXPECT_EQ(count_columns(spec), static_cast<int>(columns.size()));
+  }
+}
+
+}  // namespace
+}  // namespace hyde::decomp

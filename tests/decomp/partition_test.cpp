@@ -1,0 +1,151 @@
+#include "decomp/partition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hyde::decomp {
+namespace {
+
+using hyde::bdd::Bdd;
+using hyde::bdd::Manager;
+
+TEST(SymbolTable, InternsByContent) {
+  Manager mgr(4);
+  SymbolTable table;
+  const Bdd a = mgr.var(0) & mgr.var(1);
+  const Bdd b = mgr.var(1) & mgr.var(0);  // same function, same id
+  const int s1 = table.id_of(a, mgr.zero());
+  const int s2 = table.id_of(b, mgr.zero());
+  EXPECT_EQ(s1, s2);
+  const int s3 = table.id_of(a, mgr.var(2));  // different dc -> new symbol
+  EXPECT_NE(s1, s3);
+  EXPECT_EQ(table.size(), 2);
+}
+
+TEST(Partition, MultiplicityAndPsc) {
+  // The paper's Π4 = <0,1,3,1>: multiplicity 3, Psc = {p1,p3}.
+  const Partition p{{0, 1, 3, 1}};
+  EXPECT_EQ(p.multiplicity(), 3);
+  const auto psc = p.same_content_position_sets();
+  ASSERT_EQ(psc.size(), 1u);
+  EXPECT_EQ(psc[0], (std::vector<int>{1, 3}));
+}
+
+TEST(Partition, PscMultipleSets) {
+  // Π8 = <1,2,1,2>: two Psc sets {p0,p2} and {p1,p3} (Figure 4(a)).
+  const Partition p{{1, 2, 1, 2}};
+  const auto psc = p.same_content_position_sets();
+  ASSERT_EQ(psc.size(), 2u);
+  EXPECT_EQ(psc[0], (std::vector<int>{0, 2}));
+  EXPECT_EQ(psc[1], (std::vector<int>{1, 3}));
+}
+
+TEST(Partition, NoPscWhenAllDistinct) {
+  const Partition p{{0, 1, 2, 3}};
+  EXPECT_TRUE(p.same_content_position_sets().empty());
+  EXPECT_EQ(p.multiplicity(), 4);
+}
+
+TEST(Partition, CanonicalRenumbering) {
+  const Partition p{{7, 3, 7, 9}};
+  EXPECT_EQ(p.canonical().symbols, (std::vector<int>{0, 1, 0, 2}));
+}
+
+TEST(Partition, ToStringMatchesPaperNotation) {
+  const Partition p{{3, 0, 1, 3}};
+  EXPECT_EQ(p.to_string(), "<3,0,1,3>");
+}
+
+TEST(Partition, ConjunctionStacksVertically) {
+  // Πc of Π2=<3,0,1,3> and Π7=<1,1,2,1>: pairs (3,1),(0,1),(1,2),(3,1)
+  // -> positions 0 and 3 share content (Figure 4(b)).
+  const Partition p2{{3, 0, 1, 3}};
+  const Partition p7{{1, 1, 2, 1}};
+  const Partition pc = conjunction({p2, p7});
+  EXPECT_EQ(pc.canonical().symbols, (std::vector<int>{0, 1, 2, 0}));
+  EXPECT_EQ(pc.multiplicity(), 3);
+  const auto psc = pc.same_content_position_sets();
+  ASSERT_EQ(psc.size(), 1u);
+  EXPECT_EQ(psc[0], (std::vector<int>{0, 3}));
+}
+
+TEST(Partition, ConjunctionOfFigure4RowGroup) {
+  // Πc of {Π3,Π4,Π6,Π7,Π8} must have p1p3 with the same content (Fig 4(b)).
+  const Partition p3{{2, 1, 0, 1}};
+  const Partition p4{{0, 1, 3, 1}};
+  const Partition p6{{1, 0, 0, 0}};
+  const Partition p7{{1, 1, 2, 1}};
+  const Partition p8{{1, 2, 1, 2}};
+  const Partition pc = conjunction({p3, p4, p6, p7, p8});
+  const auto psc = pc.same_content_position_sets();
+  ASSERT_EQ(psc.size(), 1u);
+  EXPECT_EQ(psc[0], (std::vector<int>{1, 3}));
+}
+
+TEST(Partition, ConjunctionMismatchThrows) {
+  EXPECT_THROW(conjunction({Partition{{0, 1}}, Partition{{0, 1, 2, 3}}}),
+               std::invalid_argument);
+  EXPECT_TRUE(conjunction({}).symbols.empty());
+}
+
+TEST(Partition, DisjunctionConcatenates) {
+  const Partition a{{0, 1}};
+  const Partition b{{1, 2}};
+  EXPECT_EQ(disjunction({a, b}).symbols, (std::vector<int>{0, 1, 1, 2}));
+  EXPECT_EQ(disjunction({a, b}).multiplicity(), 3);
+}
+
+TEST(Partition, ContainmentDefinition46) {
+  // Example 4.2: Π0 is contained by Πc{Π1,Π2}.
+  const Partition p0{{0, 0, 1, 0, 1, 2, 2, 0, 3, 2, 0, 0, 0, 0, 0, 2}};
+  const Partition p1{{0, 1, 2, 0, 2, 3, 3, 2, 4, 3, 0, 2, 1, 5, 1, 3}};
+  const Partition p2{{0, 1, 1, 0, 1, 2, 2, 3, 3, 2, 0, 3, 1, 4, 5, 2}};
+  // Give the operands disjoint symbol spaces before conjunction (symbols are
+  // meaningful only within each partition here).
+  Partition p1s = p1, p2s = p2;
+  for (int& s : p1s.symbols) s += 100;
+  for (int& s : p2s.symbols) s += 200;
+  const Partition pc12 = conjunction({p1s, p2s});
+  EXPECT_EQ(pc12.multiplicity(), 8);  // stated in Example 4.2
+  EXPECT_TRUE(contained_in(p0, pc12));
+  // Conversely pc12 is NOT contained by Π0 (Π0 has multiplicity 4 < 8).
+  EXPECT_EQ(p0.multiplicity(), 4);
+  EXPECT_FALSE(contained_in(pc12, p0));
+}
+
+TEST(Partition, ContainmentIsReflexive) {
+  const Partition p{{0, 1, 0, 2}};
+  EXPECT_TRUE(contained_in(p, p));
+}
+
+TEST(Partition, MakePartitionFromBdd) {
+  // f(x0,x1,x2) = x0 ^ x2 with positions {x0,x1}: the four positions give
+  // patterns x2, x2, !x2, !x2 -> partition <0,1,0,1> canonically... position
+  // bit0 = x0: p0 (x0=0,x1=0) -> x2 ; p1 (x0=1) -> !x2 ; p2 (x1=1,x0=0) -> x2;
+  // p3 -> !x2. So canonical <0,1,0,1>.
+  Manager mgr(3);
+  SymbolTable symbols;
+  const Bdd f = mgr.var(0) ^ mgr.var(2);
+  const Partition p =
+      make_partition(mgr, IsfBdd{f, mgr.zero()}, {0, 1}, symbols);
+  EXPECT_EQ(p.canonical().symbols, (std::vector<int>{0, 1, 0, 1}));
+  EXPECT_EQ(p.multiplicity(), 2);
+}
+
+TEST(Partition, MakePartitionSharesSymbolsAcrossFunctions) {
+  // Two different functions with identical residual patterns must reuse the
+  // same global symbols (content-based interning).
+  Manager mgr(3);
+  SymbolTable symbols;
+  const Bdd f = mgr.var(0) ^ mgr.var(2);
+  const Bdd g = ~mgr.var(0) ^ mgr.var(2);  // same patterns, swapped positions
+  const Partition pf =
+      make_partition(mgr, IsfBdd{f, mgr.zero()}, {0, 1}, symbols);
+  const Partition pg =
+      make_partition(mgr, IsfBdd{g, mgr.zero()}, {0, 1}, symbols);
+  EXPECT_EQ(symbols.size(), 2);  // x2 and !x2 only
+  EXPECT_EQ(pf.symbols[0], pg.symbols[1]);
+  EXPECT_EQ(pf.symbols[1], pg.symbols[0]);
+}
+
+}  // namespace
+}  // namespace hyde::decomp

@@ -1,0 +1,172 @@
+/// Deeper graph-algorithm tests: adversarial shapes, duplicate edges,
+/// determinism, and larger brute-force cross-checks.
+
+#include "graph/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <random>
+#include <set>
+
+namespace hyde::graph {
+namespace {
+
+TEST(CliquePartitionDeep, StarGraphKeepsCenterPaired) {
+  // Star: center 0 adjacent to all leaves; leaves not adjacent. Cliques are
+  // {0, leaf} + singletons: exactly n-1 cliques.
+  const int n = 7;
+  std::vector<std::vector<char>> adj(n, std::vector<char>(n, 0));
+  for (int leaf = 1; leaf < n; ++leaf) {
+    adj[0][static_cast<std::size_t>(leaf)] = 1;
+    adj[static_cast<std::size_t>(leaf)][0] = 1;
+  }
+  const auto cliques = clique_partition(n, adj);
+  EXPECT_EQ(cliques.size(), static_cast<std::size_t>(n - 1));
+}
+
+TEST(CliquePartitionDeep, TwoCliquesJoinedByBridge) {
+  // K4 + K4 joined by one bridge edge: optimal is 2 cliques; the heuristic
+  // must not be lured into using the bridge.
+  const int n = 8;
+  std::vector<std::vector<char>> adj(n, std::vector<char>(n, 0));
+  auto connect = [&adj](int a, int b) {
+    adj[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] = 1;
+    adj[static_cast<std::size_t>(b)][static_cast<std::size_t>(a)] = 1;
+  };
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) {
+      connect(i, j);
+      connect(4 + i, 4 + j);
+    }
+  }
+  connect(3, 4);  // bridge
+  const auto cliques = clique_partition(n, adj);
+  EXPECT_LE(cliques.size(), 3u);  // 2 optimal; heuristic may pay one extra
+  // Every reported set must still be a clique.
+  for (const auto& clique : cliques) {
+    for (std::size_t i = 0; i < clique.size(); ++i) {
+      for (std::size_t j = i + 1; j < clique.size(); ++j) {
+        EXPECT_TRUE(adj[static_cast<std::size_t>(clique[i])]
+                       [static_cast<std::size_t>(clique[j])]);
+      }
+    }
+  }
+}
+
+TEST(CliquePartitionDeep, Deterministic) {
+  std::mt19937_64 rng(88);
+  const int n = 10;
+  std::vector<std::vector<char>> adj(n, std::vector<char>(n, 0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng() & 1) {
+        adj[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = 1;
+        adj[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = 1;
+      }
+    }
+  }
+  EXPECT_EQ(clique_partition(n, adj), clique_partition(n, adj));
+}
+
+TEST(BMatchingDeep, ParallelEdgesPickOne) {
+  // Two parallel edges with different weights between the same pair.
+  const auto result = max_weight_b_matching(
+      1, 1, {1}, {{0, 0, 2.0}, {0, 0, 9.0}});
+  EXPECT_DOUBLE_EQ(result.total_weight, 9.0);
+  EXPECT_EQ(result.left_match[0], 0);
+}
+
+TEST(BMatchingDeep, ZeroWeightEdgesDoNotForceMatches) {
+  const auto result = max_weight_b_matching(2, 1, {2}, {{0, 0, 0.0}, {1, 0, 0.0}});
+  EXPECT_DOUBLE_EQ(result.total_weight, 0.0);
+}
+
+TEST(BMatchingDeep, HighCapacityAbsorbsEverything) {
+  std::vector<BMatchEdge> edges;
+  for (int i = 0; i < 6; ++i) edges.push_back({i, 0, 1.0});
+  const auto result = max_weight_b_matching(6, 1, {6}, edges);
+  EXPECT_DOUBLE_EQ(result.total_weight, 6.0);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(result.left_match[static_cast<std::size_t>(i)], 0);
+}
+
+TEST(BMatchingDeep, LargerBruteForceCrossCheck) {
+  std::mt19937_64 rng(777);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int nl = 5, nr = 3;
+    std::vector<int> cap{1 + static_cast<int>(rng() % 3),
+                         1 + static_cast<int>(rng() % 2), 1};
+    std::vector<BMatchEdge> edges;
+    for (int i = 0; i < nl; ++i) {
+      for (int j = 0; j < nr; ++j) {
+        if (rng() % 3 != 0) {
+          edges.push_back({i, j, static_cast<double>(1 + rng() % 20)});
+        }
+      }
+    }
+    double best = 0.0;
+    std::vector<int> used(static_cast<std::size_t>(nr), 0);
+    std::function<void(int, double)> enumerate = [&](int left, double acc) {
+      if (left == nl) {
+        best = std::max(best, acc);
+        return;
+      }
+      enumerate(left + 1, acc);
+      for (const auto& e : edges) {
+        if (e.left != left) continue;
+        if (used[static_cast<std::size_t>(e.right)] <
+            cap[static_cast<std::size_t>(e.right)]) {
+          ++used[static_cast<std::size_t>(e.right)];
+          enumerate(left + 1, acc + e.weight);
+          --used[static_cast<std::size_t>(e.right)];
+        }
+      }
+    };
+    enumerate(0, 0.0);
+    EXPECT_DOUBLE_EQ(max_weight_b_matching(nl, nr, cap, edges).total_weight,
+                     best)
+        << trial;
+  }
+}
+
+TEST(BlossomDeep, PetersenGraphHasPerfectMatching) {
+  // The Petersen graph (10 vertices, 15 edges) has a perfect matching.
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < 5; ++i) {
+    edges.emplace_back(i, (i + 1) % 5);          // outer cycle
+    edges.emplace_back(5 + i, 5 + (i + 2) % 5);  // inner pentagram
+    edges.emplace_back(i, 5 + i);                // spokes
+  }
+  const auto mate = max_cardinality_matching(10, edges);
+  int matched = 0;
+  for (int v = 0; v < 10; ++v) {
+    if (mate[static_cast<std::size_t>(v)] >= 0) ++matched;
+  }
+  EXPECT_EQ(matched, 10);
+}
+
+TEST(BlossomDeep, NestedBlossoms) {
+  // Two triangles sharing a path — forces nested contraction.
+  // Triangle A: 0-1-2; path 2-3; triangle B: 3-4-5; tails 6-0, 7-4.
+  const std::vector<std::pair<int, int>> edges{
+      {0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 5}, {5, 3}, {6, 0}, {7, 4}};
+  const auto mate = max_cardinality_matching(8, edges);
+  int matched = 0;
+  for (int v = 0; v < 8; ++v) {
+    if (mate[static_cast<std::size_t>(v)] >= 0) ++matched;
+  }
+  EXPECT_EQ(matched, 8);  // perfect: e.g. (6,0)(1,2)(3,5)(7,4)
+}
+
+TEST(BlossomDeep, DisconnectedComponents) {
+  const std::vector<std::pair<int, int>> edges{{0, 1}, {3, 4}, {4, 5}, {5, 3}};
+  const auto mate = max_cardinality_matching(7, edges);
+  int matched = 0;
+  for (int v = 0; v < 7; ++v) {
+    if (mate[static_cast<std::size_t>(v)] >= 0) ++matched;
+  }
+  EXPECT_EQ(matched, 4);  // (0,1) + one triangle edge; vertices 2,6 isolated
+}
+
+}  // namespace
+}  // namespace hyde::graph

@@ -1,0 +1,268 @@
+#include "graph/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <random>
+#include <set>
+
+namespace hyde::graph {
+namespace {
+
+std::vector<std::vector<char>> make_adj(int n,
+                                        const std::vector<std::pair<int, int>>& edges) {
+  std::vector<std::vector<char>> adj(static_cast<std::size_t>(n),
+                                     std::vector<char>(static_cast<std::size_t>(n), 0));
+  for (auto [u, v] : edges) {
+    adj[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)] = 1;
+    adj[static_cast<std::size_t>(v)][static_cast<std::size_t>(u)] = 1;
+  }
+  return adj;
+}
+
+void check_clique_partition(int n, const std::vector<std::vector<char>>& adj,
+                            const std::vector<std::vector<int>>& cliques) {
+  std::vector<int> seen(static_cast<std::size_t>(n), 0);
+  for (const auto& clique : cliques) {
+    for (std::size_t i = 0; i < clique.size(); ++i) {
+      ++seen[static_cast<std::size_t>(clique[i])];
+      for (std::size_t j = i + 1; j < clique.size(); ++j) {
+        EXPECT_TRUE(adj[static_cast<std::size_t>(clique[i])]
+                       [static_cast<std::size_t>(clique[j])])
+            << clique[i] << " and " << clique[j] << " not adjacent";
+      }
+    }
+  }
+  for (int v = 0; v < n; ++v) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(v)], 1) << "vertex " << v;
+  }
+}
+
+TEST(CliquePartition, EmptyGraphIsSingletons) {
+  const auto adj = make_adj(4, {});
+  const auto cliques = clique_partition(4, adj);
+  EXPECT_EQ(cliques.size(), 4u);
+  check_clique_partition(4, adj, cliques);
+}
+
+TEST(CliquePartition, CompleteGraphIsOneClique) {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < 6; ++i) {
+    for (int j = i + 1; j < 6; ++j) edges.emplace_back(i, j);
+  }
+  const auto adj = make_adj(6, edges);
+  const auto cliques = clique_partition(6, adj);
+  EXPECT_EQ(cliques.size(), 1u);
+  check_clique_partition(6, adj, cliques);
+}
+
+TEST(CliquePartition, TwoTriangles) {
+  const auto adj = make_adj(6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}});
+  const auto cliques = clique_partition(6, adj);
+  EXPECT_EQ(cliques.size(), 2u);
+  check_clique_partition(6, adj, cliques);
+}
+
+TEST(CliquePartition, PathNeedsTwoOrThree) {
+  // Path 0-1-2-3: optimal partition is {0,1},{2,3}.
+  const auto adj = make_adj(4, {{0, 1}, {1, 2}, {2, 3}});
+  const auto cliques = clique_partition(4, adj);
+  EXPECT_EQ(cliques.size(), 2u);
+  check_clique_partition(4, adj, cliques);
+}
+
+TEST(CliquePartition, SizeMismatchThrows) {
+  EXPECT_THROW(clique_partition(3, {}), std::invalid_argument);
+}
+
+TEST(CliquePartition, RandomGraphsAlwaysValid) {
+  std::mt19937_64 rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 2 + static_cast<int>(rng() % 12);
+    std::vector<std::pair<int, int>> edges;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (rng() % 3 == 0) edges.emplace_back(i, j);
+      }
+    }
+    const auto adj = make_adj(n, edges);
+    check_clique_partition(n, adj, clique_partition(n, adj));
+  }
+}
+
+TEST(BMatching, SimpleAssignment) {
+  // Two left vertices, one right vertex of capacity 1: keep the heavier edge.
+  const auto result = max_weight_b_matching(
+      2, 1, {1}, {{0, 0, 5.0}, {1, 0, 7.0}});
+  EXPECT_DOUBLE_EQ(result.total_weight, 7.0);
+  EXPECT_EQ(result.left_match[0], -1);
+  EXPECT_EQ(result.left_match[1], 0);
+}
+
+TEST(BMatching, CapacityRespected) {
+  // Three left vertices all want right 0 (capacity 2).
+  const auto result = max_weight_b_matching(
+      3, 1, {2}, {{0, 0, 3.0}, {1, 0, 2.0}, {2, 0, 1.0}});
+  EXPECT_DOUBLE_EQ(result.total_weight, 5.0);
+  const int matched = static_cast<int>(std::count_if(
+      result.left_match.begin(), result.left_match.end(),
+      [](int m) { return m >= 0; }));
+  EXPECT_EQ(matched, 2);
+  EXPECT_EQ(result.left_match[2], -1);
+}
+
+TEST(BMatching, PrefersHeavyCombination) {
+  // left0: r0 w=10; left1: r0 w=9 or r1 w=8. Optimal: 10 + 8.
+  const auto result = max_weight_b_matching(
+      2, 2, {1, 1}, {{0, 0, 10.0}, {1, 0, 9.0}, {1, 1, 8.0}});
+  EXPECT_DOUBLE_EQ(result.total_weight, 18.0);
+  EXPECT_EQ(result.left_match[0], 0);
+  EXPECT_EQ(result.left_match[1], 1);
+}
+
+TEST(BMatching, IgnoresNegativeEdges) {
+  const auto result = max_weight_b_matching(1, 1, {1}, {{0, 0, -3.0}});
+  EXPECT_DOUBLE_EQ(result.total_weight, 0.0);
+  EXPECT_EQ(result.left_match[0], -1);
+}
+
+TEST(BMatching, EmptyInstance) {
+  const auto result = max_weight_b_matching(0, 0, {}, {});
+  EXPECT_TRUE(result.left_match.empty());
+  EXPECT_DOUBLE_EQ(result.total_weight, 0.0);
+}
+
+TEST(BMatching, EdgeOutOfRangeThrows) {
+  EXPECT_THROW(max_weight_b_matching(1, 1, {1}, {{0, 5, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(max_weight_b_matching(1, 2, {1}, {}), std::invalid_argument);
+}
+
+TEST(BMatching, MatchesBruteForceOnRandomInstances) {
+  std::mt19937_64 rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int nl = 1 + static_cast<int>(rng() % 4);
+    const int nr = 1 + static_cast<int>(rng() % 3);
+    std::vector<int> cap(static_cast<std::size_t>(nr));
+    for (auto& c : cap) c = 1 + static_cast<int>(rng() % 2);
+    std::vector<BMatchEdge> edges;
+    for (int i = 0; i < nl; ++i) {
+      for (int j = 0; j < nr; ++j) {
+        if (rng() % 2 == 0) {
+          edges.push_back({i, j, static_cast<double>(1 + rng() % 10)});
+        }
+      }
+    }
+    // Brute force: every left vertex picks one incident edge or none.
+    double best = 0.0;
+    std::vector<int> choice(static_cast<std::size_t>(nl), -1);
+    std::function<void(int, double)> enumerate = [&](int left, double acc) {
+      if (left == nl) {
+        best = std::max(best, acc);
+        return;
+      }
+      enumerate(left + 1, acc);  // unmatched
+      for (std::size_t e = 0; e < edges.size(); ++e) {
+        if (edges[e].left != left) continue;
+        int used = 0;
+        for (int prev = 0; prev < left; ++prev) {
+          if (choice[static_cast<std::size_t>(prev)] >= 0 &&
+              edges[static_cast<std::size_t>(
+                        choice[static_cast<std::size_t>(prev)])].right ==
+                  edges[e].right) {
+            ++used;
+          }
+        }
+        if (used < cap[static_cast<std::size_t>(edges[e].right)]) {
+          choice[static_cast<std::size_t>(left)] = static_cast<int>(e);
+          enumerate(left + 1, acc + edges[e].weight);
+          choice[static_cast<std::size_t>(left)] = -1;
+        }
+      }
+    };
+    enumerate(0, 0.0);
+    const auto result = max_weight_b_matching(nl, nr, cap, edges);
+    EXPECT_DOUBLE_EQ(result.total_weight, best) << "trial " << trial;
+  }
+}
+
+void check_matching(int n, const std::vector<std::pair<int, int>>& edges,
+                    const std::vector<int>& mate, int expected_size) {
+  std::set<std::pair<int, int>> edge_set;
+  for (auto [u, v] : edges) {
+    edge_set.insert({std::min(u, v), std::max(u, v)});
+  }
+  int matched = 0;
+  for (int v = 0; v < n; ++v) {
+    if (mate[static_cast<std::size_t>(v)] >= 0) {
+      const int u = mate[static_cast<std::size_t>(v)];
+      EXPECT_EQ(mate[static_cast<std::size_t>(u)], v) << "asymmetric mate";
+      EXPECT_TRUE(edge_set.count({std::min(u, v), std::max(u, v)}))
+          << "matched non-edge " << u << "-" << v;
+      ++matched;
+    }
+  }
+  EXPECT_EQ(matched / 2, expected_size);
+}
+
+TEST(BlossomMatching, PerfectOnEvenCycle) {
+  const std::vector<std::pair<int, int>> edges{{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  check_matching(4, edges, max_cardinality_matching(4, edges), 2);
+}
+
+TEST(BlossomMatching, OddCycleLeavesOneFree) {
+  const std::vector<std::pair<int, int>> edges{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}};
+  check_matching(5, edges, max_cardinality_matching(5, edges), 2);
+}
+
+TEST(BlossomMatching, BlossomAugmentation) {
+  // Classic case requiring blossom contraction: a triangle with two tails.
+  // 0-1, 1-2, 2-0 (triangle); 3-0 and 4-1 tails.
+  const std::vector<std::pair<int, int>> edges{
+      {0, 1}, {1, 2}, {2, 0}, {3, 0}, {4, 1}};
+  check_matching(5, edges, max_cardinality_matching(5, edges), 2);
+}
+
+TEST(BlossomMatching, EmptyAndSingleton) {
+  check_matching(3, {}, max_cardinality_matching(3, {}), 0);
+  const std::vector<std::pair<int, int>> self{{1, 1}};
+  check_matching(3, {}, max_cardinality_matching(3, self), 0);
+}
+
+TEST(BlossomMatching, MatchesBruteForceOnRandomGraphs) {
+  std::mt19937_64 rng(31337);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = 2 + static_cast<int>(rng() % 9);
+    std::vector<std::pair<int, int>> edges;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (rng() % 3 == 0) edges.emplace_back(i, j);
+      }
+    }
+    // Brute force maximum matching size.
+    int best = 0;
+    std::function<void(std::size_t, std::vector<char>&, int)> enumerate =
+        [&](std::size_t e, std::vector<char>& used, int size) {
+          best = std::max(best, size);
+          if (e == edges.size()) return;
+          enumerate(e + 1, used, size);
+          auto [u, v] = edges[e];
+          if (!used[static_cast<std::size_t>(u)] &&
+              !used[static_cast<std::size_t>(v)]) {
+            used[static_cast<std::size_t>(u)] = 1;
+            used[static_cast<std::size_t>(v)] = 1;
+            enumerate(e + 1, used, size + 1);
+            used[static_cast<std::size_t>(u)] = 0;
+            used[static_cast<std::size_t>(v)] = 0;
+          }
+        };
+    std::vector<char> used(static_cast<std::size_t>(n), 0);
+    enumerate(0, used, 0);
+    check_matching(n, edges, max_cardinality_matching(n, edges), best);
+  }
+}
+
+}  // namespace
+}  // namespace hyde::graph

@@ -1,0 +1,42 @@
+/// The big safety net: every circuit of the benchmark registry through the
+/// HYDE flow, formally verified (BDD comparison where tractable).
+
+#include <gtest/gtest.h>
+
+#include "baseline/flows.hpp"
+#include "mcnc/benchmarks.hpp"
+#include "net/verify.hpp"
+
+namespace hyde {
+namespace {
+
+class SuiteSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SuiteSweep, HydeFlowVerifies) {
+  const auto input = mcnc::make_circuit(GetParam());
+  const auto result =
+      baseline::run_system(input, baseline::System::kHyde, 5, /*verify=*/0);
+  EXPECT_TRUE(result.network.is_k_feasible(5));
+  net::EquivalenceOptions options;
+  options.random_vectors = 256;
+  const auto eq = net::check_equivalence(input, result.network, options);
+  EXPECT_TRUE(eq.equivalent) << GetParam() << " failing output "
+                             << eq.failing_output;
+  EXPECT_GT(result.luts, 0);
+  EXPECT_GT(result.clbs, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCircuits, SuiteSweep,
+                         ::testing::ValuesIn(mcnc::all_circuits()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace hyde

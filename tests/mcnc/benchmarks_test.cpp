@@ -1,0 +1,179 @@
+#include "mcnc/benchmarks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "net/blif.hpp"
+
+namespace hyde::mcnc {
+namespace {
+
+/// PI/PO counts every generated circuit must reproduce (the MCNC originals).
+const std::map<std::string, std::pair<int, int>> kExpectedIo = {
+    {"5xp1", {7, 10}},  {"9sym", {9, 1}},    {"alu2", {10, 6}},
+    {"alu4", {14, 8}},  {"apex4", {9, 19}},  {"apex6", {135, 99}},
+    {"apex7", {49, 37}}, {"b9", {41, 21}},   {"clip", {9, 5}},
+    {"count", {35, 16}}, {"des", {256, 245}}, {"duke2", {22, 29}},
+    {"e64", {65, 65}},  {"f51m", {8, 8}},    {"misex1", {8, 7}},
+    {"misex2", {25, 18}}, {"misex3", {14, 14}}, {"rd73", {7, 3}},
+    {"rd84", {8, 4}},   {"rot", {135, 107}}, {"sao2", {10, 4}},
+    {"vg2", {25, 8}},   {"z4ml", {7, 4}},    {"C499", {41, 32}},
+    {"C880", {60, 26}},
+};
+
+TEST(Benchmarks, RegistryCoversBothTables) {
+  const auto names = all_circuits();
+  EXPECT_EQ(names.size(), kExpectedIo.size());
+  for (const auto& row : paper_table1()) {
+    EXPECT_NE(std::find(names.begin(), names.end(), row.circuit), names.end())
+        << row.circuit;
+  }
+  for (const auto& row : paper_table2()) {
+    EXPECT_NE(std::find(names.begin(), names.end(), row.circuit), names.end())
+        << row.circuit;
+  }
+  EXPECT_THROW(make_circuit("nonexistent"), std::invalid_argument);
+}
+
+TEST(Benchmarks, IoCountsMatchOriginals) {
+  for (const auto& [name, io] : kExpectedIo) {
+    const auto net = make_circuit(name);
+    EXPECT_EQ(static_cast<int>(net.inputs().size()), io.first) << name;
+    EXPECT_EQ(static_cast<int>(net.outputs().size()), io.second) << name;
+  }
+}
+
+TEST(Benchmarks, GeneratorsAreDeterministic) {
+  for (const std::string name : {"apex7", "duke2", "des", "misex3"}) {
+    const auto a = make_circuit(name);
+    const auto b = make_circuit(name);
+    EXPECT_EQ(net::write_blif_string(a), net::write_blif_string(b)) << name;
+  }
+}
+
+TEST(Benchmarks, NineSymIsSymmetric) {
+  const auto net = make_circuit("9sym");
+  // Permuting inputs never changes the output.
+  std::vector<bool> v1{true, false, true, true, false, false, true, false, false};
+  std::vector<bool> v2{false, false, false, true, true, true, false, true, false};
+  EXPECT_EQ(net.eval(v1), net.eval(v2));  // both weight 4
+}
+
+TEST(Benchmarks, Rd84CountsOnes) {
+  const auto net = make_circuit("rd84");
+  for (std::uint64_t m : {0ull, 5ull, 255ull, 170ull}) {
+    std::vector<bool> assign(8);
+    for (int i = 0; i < 8; ++i) assign[static_cast<std::size_t>(i)] = ((m >> i) & 1) != 0;
+    const auto out = net.eval(assign);
+    const int count = std::popcount(m);
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_EQ(out[static_cast<std::size_t>(j)], ((count >> j) & 1) != 0) << m;
+    }
+  }
+}
+
+TEST(Benchmarks, Z4mlAdds) {
+  const auto net = make_circuit("z4ml");
+  for (std::uint64_t m = 0; m < 128; ++m) {
+    std::vector<bool> assign(7);
+    for (int i = 0; i < 7; ++i) assign[static_cast<std::size_t>(i)] = ((m >> i) & 1) != 0;
+    const auto out = net.eval(assign);
+    const std::uint64_t sum = (m & 7) + ((m >> 3) & 7) + ((m >> 6) & 1);
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_EQ(out[static_cast<std::size_t>(j)], ((sum >> j) & 1) != 0) << m;
+    }
+  }
+}
+
+TEST(Benchmarks, ClipSaturates) {
+  const auto net = make_circuit("clip");
+  auto eval_at = [&net](int x) {
+    const std::uint64_t m = static_cast<std::uint64_t>(x & 0x1FF);
+    std::vector<bool> assign(9);
+    for (int i = 0; i < 9; ++i) assign[static_cast<std::size_t>(i)] = ((m >> i) & 1) != 0;
+    const auto out = net.eval(assign);
+    int v = 0;
+    for (int j = 0; j < 5; ++j) {
+      if (out[static_cast<std::size_t>(j)]) v |= 1 << j;
+    }
+    if (v & 16) v -= 32;
+    return v;
+  };
+  EXPECT_EQ(eval_at(7), 7);
+  EXPECT_EQ(eval_at(100), 15);   // saturates high
+  EXPECT_EQ(eval_at(-100), -15);  // saturates low
+  EXPECT_EQ(eval_at(-3), -3);
+}
+
+TEST(Benchmarks, F51mMultiplies) {
+  const auto net = make_circuit("f51m");
+  for (int a = 0; a < 16; a += 3) {
+    for (int b = 0; b < 16; b += 5) {
+      const std::uint64_t m = static_cast<std::uint64_t>(a | (b << 4));
+      std::vector<bool> assign(8);
+      for (int i = 0; i < 8; ++i) assign[static_cast<std::size_t>(i)] = ((m >> i) & 1) != 0;
+      const auto out = net.eval(assign);
+      const int product = a * b;
+      for (int j = 0; j < 8; ++j) {
+        EXPECT_EQ(out[static_cast<std::size_t>(j)], ((product >> j) & 1) != 0);
+      }
+    }
+  }
+}
+
+TEST(Benchmarks, E64IsPriorityEncoder) {
+  const auto net = make_circuit("e64");
+  std::vector<bool> assign(65, false);
+  assign[10] = true;
+  assign[40] = true;
+  const auto out = net.eval(assign);
+  for (int i = 0; i < 65; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], i == 10) << i;
+  }
+}
+
+TEST(Benchmarks, DesHasSharedSupportGroups) {
+  const auto net = make_circuit("des");
+  // All four outputs of an S-box read exactly the same PIs.
+  const auto sb0 = net.find("sb0_0");
+  const auto sb3 = net.find("sb0_3");
+  ASSERT_NE(sb0, net::kNoNode);
+  ASSERT_NE(sb3, net::kNoNode);
+  EXPECT_EQ(net.node(sb0).fanins, net.node(sb3).fanins);
+  EXPECT_EQ(net.node(sb0).fanins.size(), 6u);
+}
+
+TEST(Benchmarks, PaperTablesTotalsMatchPublication) {
+  // Cross-check the transcribed paper data against its printed totals.
+  int hyde_total1 = 0, imodec_total1 = 0;
+  int imodec_sub = 0, fgsyn_sub = 0, hyde_sub = 0;
+  for (const auto& row : paper_table1()) {
+    hyde_total1 += row.hyde_clb;
+    imodec_total1 += row.imodec_clb;
+    if (row.fgsyn_clb >= 0) {
+      imodec_sub += row.imodec_clb;
+      fgsyn_sub += row.fgsyn_clb;
+      hyde_sub += row.hyde_clb;
+    }
+  }
+  EXPECT_EQ(hyde_total1, 1272);
+  EXPECT_EQ(imodec_total1, 1453);
+  EXPECT_EQ(imodec_sub, 964);
+  EXPECT_EQ(fgsyn_sub, 895);
+  EXPECT_EQ(hyde_sub, 864);
+
+  // Table 2's printed totals cover the rows where [8] reported numbers.
+  int noresub_total = 0, hyde_total2 = 0;
+  for (const auto& row : paper_table2()) {
+    if (row.noresub_lut >= 0) {
+      noresub_total += row.noresub_lut;
+      hyde_total2 += row.hyde_lut;
+    }
+  }
+  EXPECT_EQ(noresub_total, 1578);
+  EXPECT_EQ(hyde_total2, 1311);
+}
+
+}  // namespace
+}  // namespace hyde::mcnc

@@ -1,0 +1,211 @@
+/// Behavioural checks of the exactly-specified benchmark generators against
+/// their arithmetic definitions.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <random>
+
+#include "mcnc/benchmarks.hpp"
+
+namespace hyde::mcnc {
+namespace {
+
+std::vector<bool> bits_of(std::uint64_t m, int n) {
+  std::vector<bool> assign(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) assign[static_cast<std::size_t>(i)] = ((m >> i) & 1) != 0;
+  return assign;
+}
+
+std::uint64_t word_of(const std::vector<bool>& bits, int lo, int width) {
+  std::uint64_t w = 0;
+  for (int i = 0; i < width; ++i) {
+    if (bits[static_cast<std::size_t>(lo + i)]) w |= std::uint64_t{1} << i;
+  }
+  return w;
+}
+
+TEST(CircuitSemantics, Alu2ImplementsFourOps) {
+  const auto net = make_circuit("alu2");
+  std::mt19937_64 rng(1);
+  for (int probe = 0; probe < 200; ++probe) {
+    const std::uint64_t m = rng() & 0x3FF;
+    const auto assign = bits_of(m, 10);
+    const auto out = net.eval(assign);
+    const std::uint64_t a = m & 15, b = (m >> 4) & 15, op = (m >> 8) & 3;
+    std::uint64_t r = 0, cout = 0;
+    switch (op) {
+      case 0: r = a + b; cout = (r >> 4) & 1; r &= 15; break;
+      case 1: r = a & b; break;
+      case 2: r = a | b; break;
+      case 3: r = a ^ b; break;
+    }
+    std::uint64_t got_r = 0;
+    for (int j = 0; j < 4; ++j) {
+      if (out[static_cast<std::size_t>(j)]) got_r |= std::uint64_t{1} << j;
+    }
+    EXPECT_EQ(got_r, r) << "m=" << m;
+    EXPECT_EQ(out[4], cout != 0) << "m=" << m;
+    EXPECT_EQ(out[5], r == 0) << "m=" << m;
+  }
+}
+
+TEST(CircuitSemantics, Alu4ImplementsFourOps) {
+  const auto net = make_circuit("alu4");
+  std::mt19937_64 rng(2);
+  for (int probe = 0; probe < 100; ++probe) {
+    const std::uint64_t m = rng() & 0x3FFF;
+    const auto out = net.eval(bits_of(m, 14));
+    const std::uint64_t a = m & 63, b = (m >> 6) & 63, op = (m >> 12) & 3;
+    std::uint64_t r = 0, cout = 0;
+    switch (op) {
+      case 0: r = a + b; cout = (r >> 6) & 1; r &= 63; break;
+      case 1: r = a & b; break;
+      case 2: r = a | b; break;
+      case 3: r = a ^ b; break;
+    }
+    std::uint64_t got_r = 0;
+    for (int j = 0; j < 6; ++j) {
+      if (out[static_cast<std::size_t>(j)]) got_r |= std::uint64_t{1} << j;
+    }
+    EXPECT_EQ(got_r, r);
+    EXPECT_EQ(out[6], cout != 0);
+    EXPECT_EQ(out[7], r == 0);
+  }
+}
+
+TEST(CircuitSemantics, CountChainsCarries) {
+  const auto net = make_circuit("count");
+  std::mt19937_64 rng(3);
+  for (int probe = 0; probe < 100; ++probe) {
+    std::vector<bool> assign(35);
+    for (auto&& a : assign) a = (rng() & 1) != 0;
+    const auto out = net.eval(assign);
+    // Reference: out_i = d_i ^ (carry_i & ctl0);
+    //            carry_{i+1} = carry_i & (d_i | (en_i & ctl1)).
+    const bool cin = assign[32], ctl0 = assign[33], ctl1 = assign[34];
+    bool carry = cin;
+    for (int i = 0; i < 16; ++i) {
+      const bool d = assign[static_cast<std::size_t>(i)];
+      const bool en = assign[static_cast<std::size_t>(16 + i)];
+      EXPECT_EQ(out[static_cast<std::size_t>(i)], d ^ (carry && ctl0)) << i;
+      carry = carry && (d || (en && ctl1));
+    }
+  }
+}
+
+TEST(CircuitSemantics, C880AdderSliceMasksResults) {
+  const auto net = make_circuit("C880");
+  std::mt19937_64 rng(4);
+  for (int probe = 0; probe < 60; ++probe) {
+    std::vector<bool> assign(60);
+    for (auto&& a : assign) a = (rng() & 1) != 0;
+    const auto out = net.eval(assign);
+    const std::uint64_t a = word_of(assign, 0, 12);
+    const std::uint64_t b = word_of(assign, 12, 12);
+    const std::uint64_t m = word_of(assign, 24, 12);
+    const bool cin = assign[36 + 3];  // sel3 doubles as carry-in
+    const std::uint64_t sum = a + b + (cin ? 1 : 0);
+    for (int i = 0; i < 12; ++i) {
+      const bool masked = (((sum >> i) & 1) != 0) && (((m >> i) & 1) != 0);
+      EXPECT_EQ(out[static_cast<std::size_t>(i)], masked) << i;
+    }
+    EXPECT_EQ(out[12], ((sum >> 12) & 1) != 0);  // cout
+    // par_a output (index 21): parity of a.
+    EXPECT_EQ(out[21], (std::popcount(a) % 2) != 0);
+    // any_m output (index 22).
+    EXPECT_EQ(out[22], m != 0);
+  }
+}
+
+TEST(CircuitSemantics, C499CorrectsSingleBit) {
+  const auto net = make_circuit("C499");
+  // With en=0 the outputs are the raw data bits.
+  std::mt19937_64 rng(5);
+  std::vector<bool> assign(41, false);
+  for (int i = 0; i < 32; ++i) assign[static_cast<std::size_t>(i)] = (rng() & 1) != 0;
+  assign[40] = false;  // en
+  const auto out = net.eval(assign);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], assign[static_cast<std::size_t>(i)]) << i;
+  }
+  // With en=1 and checks consistent with the data, the syndrome is zero and
+  // at most one decoder can fire (pattern 0 if some h(i)==0).
+  std::vector<bool> clean = assign;
+  clean[40] = true;
+  // Set check bits to the parity the tree computes: c_j = XOR of member data.
+  // (The check inputs enter the same XOR trees, so choosing c_j equal to the
+  // data parity zeroes the syndrome.)
+  auto h = [](int i) {
+    return static_cast<unsigned>((static_cast<unsigned>(i) * 2654435761u) >> 24) & 0xFFu;
+  };
+  for (int j = 0; j < 8; ++j) {
+    bool parity = false;
+    for (int i = 0; i < 32; ++i) {
+      if ((h(i) >> j) & 1) parity ^= clean[static_cast<std::size_t>(i)];
+    }
+    clean[static_cast<std::size_t>(32 + j)] = parity;
+  }
+  const auto corrected = net.eval(clean);
+  int flipped = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (corrected[static_cast<std::size_t>(i)] != clean[static_cast<std::size_t>(i)]) {
+      ++flipped;
+    }
+  }
+  // Zero syndrome: only data bits whose pattern is 0x00 could flip.
+  int zero_pattern_bits = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (h(i) == 0) ++zero_pattern_bits;
+  }
+  EXPECT_LE(flipped, zero_pattern_bits);
+}
+
+TEST(CircuitSemantics, DesSboxOutputsDependOnlyOnTheirBox) {
+  const auto net = make_circuit("des");
+  std::mt19937_64 rng(6);
+  // Flipping an input outside sbox 0's support never changes sb0_* outputs.
+  const auto sb0 = net.find("sb0_0");
+  ASSERT_NE(sb0, net::kNoNode);
+  std::set<net::NodeId> support(net.node(sb0).fanins.begin(),
+                                net.node(sb0).fanins.end());
+  std::vector<bool> assign(256);
+  for (auto&& a : assign) a = (rng() & 1) != 0;
+  const auto base = net.eval(assign);
+  for (int flip = 0; flip < 20; ++flip) {
+    int pi_index = static_cast<int>(rng() % 256);
+    if (support.count(net.inputs()[static_cast<std::size_t>(pi_index)]) != 0) {
+      continue;
+    }
+    auto mutated = assign;
+    mutated[static_cast<std::size_t>(pi_index)] =
+        !mutated[static_cast<std::size_t>(pi_index)];
+    const auto out = net.eval(mutated);
+    for (int o = 0; o < 4; ++o) {
+      EXPECT_EQ(out[static_cast<std::size_t>(o)], base[static_cast<std::size_t>(o)]);
+    }
+  }
+}
+
+TEST(CircuitSemantics, PlaGroupsShareSupports) {
+  // Outputs of the same seeded-PLA group read identical PI sets.
+  const auto net = make_circuit("duke2");  // group_size 4
+  const auto o0 = net.outputs()[0].driver;
+  const auto o1 = net.outputs()[1].driver;
+  auto sorted_fanins = [&net](net::NodeId id) {
+    auto f = net.node(id).fanins;
+    std::sort(f.begin(), f.end());
+    return f;
+  };
+  // Same group -> same support universe (post-sweep supports may shrink per
+  // output, but they stay inside the group's drawn support).
+  const auto f0 = sorted_fanins(o0);
+  const auto f1 = sorted_fanins(o1);
+  std::vector<net::NodeId> merged;
+  std::set_union(f0.begin(), f0.end(), f1.begin(), f1.end(),
+                 std::back_inserter(merged));
+  EXPECT_LE(merged.size(), 10u);  // duke2's group support size
+}
+
+}  // namespace
+}  // namespace hyde::mcnc

@@ -1,0 +1,114 @@
+#include "net/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mcnc/benchmarks.hpp"
+#include "tt/truth_table.hpp"
+
+namespace hyde::net {
+namespace {
+
+using tt::TruthTable;
+
+Network xor_network(const std::string& model, bool broken) {
+  Network net(model);
+  const NodeId a = net.add_input("a");
+  const NodeId b = net.add_input("b");
+  const NodeId c = net.add_input("c");
+  const TruthTable x3 = broken
+                            ? TruthTable::from_lambda(3, [](std::uint64_t m) {
+                                return std::popcount(m) % 2 == 1 || m == 0;
+                              })
+                            : TruthTable::from_lambda(3, [](std::uint64_t m) {
+                                return std::popcount(m) % 2 == 1;
+                              });
+  net.add_output("y", net.add_logic_tt("y", {a, b, c}, x3));
+  return net;
+}
+
+TEST(Equivalence, FormalProvesEquality) {
+  const Network a = xor_network("a", false);
+  // Same function, built differently: chain of 2-input XORs.
+  Network b("b");
+  const NodeId ba = b.add_input("a");
+  const NodeId bb = b.add_input("b");
+  const NodeId bc = b.add_input("c");
+  const TruthTable x2 = TruthTable::var(2, 0) ^ TruthTable::var(2, 1);
+  const NodeId t = b.add_logic_tt("t", {ba, bb}, x2);
+  b.add_output("y", b.add_logic_tt("y", {t, bc}, x2));
+  const auto result = check_equivalence(a, b);
+  EXPECT_TRUE(result.equivalent);
+  EXPECT_EQ(result.method, EquivalenceMethod::kFormalBdd);
+}
+
+TEST(Equivalence, FormalFindsCounterexample) {
+  const Network a = xor_network("a", false);
+  const Network b = xor_network("b", true);  // differs at minterm 0
+  const auto result = check_equivalence(a, b);
+  EXPECT_FALSE(result.equivalent);
+  EXPECT_EQ(result.method, EquivalenceMethod::kFormalBdd);
+  EXPECT_EQ(result.failing_output, 0);
+  ASSERT_EQ(result.counterexample.size(), 3u);
+  // The witness must actually expose the difference.
+  EXPECT_NE(a.eval(result.counterexample), b.eval(result.counterexample));
+}
+
+TEST(Equivalence, MatchesInputsByNameAcrossOrders) {
+  Network a("a");
+  const NodeId ax = a.add_input("x");
+  const NodeId ay = a.add_input("y");
+  a.add_output("o", a.add_logic_tt("o", {ax, ay},
+                                   TruthTable::var(2, 0) & ~TruthTable::var(2, 1)));
+  Network b("b");
+  const NodeId by = b.add_input("y");  // swapped declaration order
+  const NodeId bx = b.add_input("x");
+  b.add_output("o", b.add_logic_tt("o", {by, bx},
+                                   ~TruthTable::var(2, 0) & TruthTable::var(2, 1)));
+  EXPECT_TRUE(check_equivalence(a, b).equivalent);
+}
+
+TEST(Equivalence, InterfaceMismatchThrows) {
+  Network a("a"), b("b");
+  a.add_input("x");
+  b.add_input("z");
+  a.add_output("o", a.inputs()[0]);
+  b.add_output("o", b.inputs()[0]);
+  EXPECT_THROW(check_equivalence(a, b), std::invalid_argument);
+  Network c("c");
+  c.add_input("x");
+  EXPECT_THROW(check_equivalence(a, c), std::invalid_argument);
+}
+
+TEST(Equivalence, FallsBackWhenBddBudgetTiny) {
+  const Network a = mcnc::make_circuit("rd73");
+  const Network b = mcnc::make_circuit("rd73");
+  EquivalenceOptions options;
+  options.bdd_node_budget = 4;  // force the formal attempt to blow the cap
+  const auto result = check_equivalence(a, b, options);
+  EXPECT_TRUE(result.equivalent);
+  EXPECT_EQ(result.method, EquivalenceMethod::kExhaustiveSim);
+}
+
+TEST(Equivalence, RandomSimOnWideNetworks) {
+  const Network a = mcnc::make_circuit("e64");  // 65 PIs
+  const Network b = mcnc::make_circuit("e64");
+  EquivalenceOptions options;
+  options.bdd_node_budget = 16;  // skip formal
+  options.exhaustive_max_inputs = 10;
+  options.random_vectors = 64;
+  const auto result = check_equivalence(a, b, options);
+  EXPECT_TRUE(result.equivalent);
+  EXPECT_EQ(result.method, EquivalenceMethod::kRandomSim);
+}
+
+TEST(Equivalence, FormalHandlesBigButTractableCircuits) {
+  // des has 256 PIs but small cones: the formal method stays in budget.
+  const Network a = mcnc::make_circuit("des");
+  const Network b = mcnc::make_circuit("des");
+  const auto result = check_equivalence(a, b);
+  EXPECT_TRUE(result.equivalent);
+  EXPECT_EQ(result.method, EquivalenceMethod::kFormalBdd);
+}
+
+}  // namespace
+}  // namespace hyde::net

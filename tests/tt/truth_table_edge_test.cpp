@@ -1,0 +1,149 @@
+/// Edge-of-envelope truth table tests: large arities, permutation algebra,
+/// projection/expansion errors, and cross-checks against bitwise reference
+/// implementations.
+
+#include "tt/truth_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+namespace hyde::tt {
+namespace {
+
+TEST(TruthTableEdge, TwentyVariableOps) {
+  // 2^20 bits = 128 KiB per table; make sure big tables stay correct.
+  const int n = 20;
+  const TruthTable a = TruthTable::var(n, 0) ^ TruthTable::var(n, 19);
+  EXPECT_EQ(a.count_ones(), std::uint64_t{1} << 19);
+  EXPECT_EQ(a.support(), (std::vector<int>{0, 19}));
+  const TruthTable b = a.cofactor(19, true);
+  EXPECT_EQ(b, ~TruthTable::var(n, 0));
+}
+
+TEST(TruthTableEdge, PermutationGroupAction) {
+  // permute(p∘q) == permute(p) after permute(q) — check the composition
+  // convention on random permutations.
+  std::mt19937_64 rng(3);
+  const int n = 6;
+  const TruthTable f = TruthTable::from_lambda(
+      n, [&rng](std::uint64_t) { return (rng() & 1) != 0; });
+  std::vector<int> p(n), q(n);
+  std::iota(p.begin(), p.end(), 0);
+  std::iota(q.begin(), q.end(), 0);
+  std::shuffle(p.begin(), p.end(), rng);
+  std::shuffle(q.begin(), q.end(), rng);
+  // Apply q then p.
+  const TruthTable two_step = f.permute(q).permute(p);
+  // Composite permutation r with the same effect: new var i gets old var
+  // q[p[i]] (permute(p) reads variable p[i] of its input, which is variable
+  // q[p[i]] of f).
+  std::vector<int> r(n);
+  for (int i = 0; i < n; ++i) {
+    r[static_cast<std::size_t>(i)] = q[static_cast<std::size_t>(p[static_cast<std::size_t>(i)])];
+  }
+  EXPECT_EQ(f.permute(r), two_step);
+}
+
+TEST(TruthTableEdge, PermuteInverseRecovers) {
+  std::mt19937_64 rng(4);
+  const int n = 7;
+  const TruthTable f = TruthTable::from_lambda(
+      n, [&rng](std::uint64_t) { return (rng() % 3) == 0; });
+  std::vector<int> p(n);
+  std::iota(p.begin(), p.end(), 0);
+  std::shuffle(p.begin(), p.end(), rng);
+  std::vector<int> inverse(n);
+  for (int i = 0; i < n; ++i) {
+    inverse[static_cast<std::size_t>(p[static_cast<std::size_t>(i)])] = i;
+  }
+  EXPECT_EQ(f.permute(p).permute(inverse), f);
+}
+
+TEST(TruthTableEdge, PermuteSizeMismatchThrows) {
+  const TruthTable f = TruthTable::ones(3);
+  EXPECT_THROW(f.permute({0, 1}), std::invalid_argument);
+  EXPECT_THROW(f.expand(4, {0, 1}), std::invalid_argument);
+}
+
+TEST(TruthTableEdge, ProjectExpandsAreAdjoint) {
+  std::mt19937_64 rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int small = 2 + static_cast<int>(rng() % 4);
+    const int big = small + 1 + static_cast<int>(rng() % 4);
+    const TruthTable f = TruthTable::from_lambda(
+        small, [&rng](std::uint64_t) { return (rng() & 1) != 0; });
+    // Random injective placement.
+    std::vector<int> placement(static_cast<std::size_t>(big));
+    std::iota(placement.begin(), placement.end(), 0);
+    std::shuffle(placement.begin(), placement.end(), rng);
+    placement.resize(static_cast<std::size_t>(small));
+    const TruthTable expanded = f.expand(big, placement);
+    EXPECT_EQ(expanded.project(placement), f) << trial;
+    // The expanded table only depends on the placed variables.
+    for (int v = 0; v < big; ++v) {
+      const bool placed = std::find(placement.begin(), placement.end(), v) !=
+                          placement.end();
+      EXPECT_EQ(expanded.depends_on(v), placed && f.depends_on(static_cast<int>(
+                                                      std::find(placement.begin(),
+                                                                placement.end(), v) -
+                                                      placement.begin())))
+          << trial << " v" << v;
+    }
+  }
+}
+
+TEST(TruthTableEdge, ExistsForallDuality) {
+  std::mt19937_64 rng(6);
+  const int n = 8;
+  const TruthTable f = TruthTable::from_lambda(
+      n, [&rng](std::uint64_t) { return (rng() % 5) == 0; });
+  for (int v = 0; v < n; ++v) {
+    EXPECT_EQ(~(f.exists(v)), (~f).forall(v)) << v;
+    EXPECT_EQ(~(f.forall(v)), (~f).exists(v)) << v;
+    EXPECT_TRUE(f.forall(v).implies(f));
+    EXPECT_TRUE(f.implies(f.exists(v)));
+  }
+}
+
+TEST(TruthTableEdge, SymmetricComplement) {
+  // symmetric(S) complement == symmetric(complement of S).
+  const int n = 7;
+  const TruthTable f = TruthTable::symmetric(n, {0, 2, 4, 6});
+  const TruthTable g = TruthTable::symmetric(n, {1, 3, 5, 7});
+  EXPECT_EQ(~f, g);
+  // Weight counts: sum of C(7, even) = 64.
+  EXPECT_EQ(f.count_ones(), 64u);
+}
+
+TEST(TruthTableEdge, FromBitsAllSizes) {
+  EXPECT_TRUE(TruthTable::from_bits("1").is_one());
+  EXPECT_TRUE(TruthTable::from_bits("0").is_zero());
+  EXPECT_EQ(TruthTable::from_bits("10").num_vars(), 1);
+  EXPECT_EQ(TruthTable::from_bits("10"), TruthTable::var(1, 0));
+  const std::string long_bits(1 << 10, '1');
+  EXPECT_TRUE(TruthTable::from_bits(long_bits).is_one());
+}
+
+TEST(TruthTableEdge, IsfMergeAssociativityOnCompatibleTriples) {
+  // For pairwise-compatible a, b, c whose merges stay compatible, merging in
+  // any order gives the same ISF.
+  const int n = 3;
+  const TruthTable care_a = TruthTable::var(n, 0);
+  const TruthTable care_b = TruthTable::var(n, 1);
+  const TruthTable care_c = TruthTable::var(n, 2);
+  const TruthTable value = TruthTable::symmetric(n, {2, 3});
+  const Isf a(value & care_a, ~care_a);
+  const Isf b(value & care_b, ~care_b);
+  const Isf c(value & care_c, ~care_c);
+  ASSERT_TRUE(a.compatible_with(b));
+  const Isf ab = a.merged_with(b);
+  ASSERT_TRUE(ab.compatible_with(c));
+  const Isf bc = b.merged_with(c);
+  ASSERT_TRUE(a.compatible_with(bc));
+  EXPECT_EQ(ab.merged_with(c), a.merged_with(bc));
+}
+
+}  // namespace
+}  // namespace hyde::tt
