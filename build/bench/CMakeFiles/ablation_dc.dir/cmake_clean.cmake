@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dc.dir/ablation_dc.cpp.o"
+  "CMakeFiles/ablation_dc.dir/ablation_dc.cpp.o.d"
+  "ablation_dc"
+  "ablation_dc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hyper.dir/ablation_hyper.cpp.o"
+  "CMakeFiles/ablation_hyper.dir/ablation_hyper.cpp.o.d"
+  "ablation_hyper"
+  "ablation_hyper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hyper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

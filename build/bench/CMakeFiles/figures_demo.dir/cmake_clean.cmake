@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figures_demo.dir/figures_demo.cpp.o"
+  "CMakeFiles/figures_demo.dir/figures_demo.cpp.o.d"
+  "figures_demo"
+  "figures_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figures_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

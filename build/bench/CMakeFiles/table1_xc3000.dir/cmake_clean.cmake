@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_xc3000.dir/table1_xc3000.cpp.o"
+  "CMakeFiles/table1_xc3000.dir/table1_xc3000.cpp.o.d"
+  "table1_xc3000"
+  "table1_xc3000.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_xc3000.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

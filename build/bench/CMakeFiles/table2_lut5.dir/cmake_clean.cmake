@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_lut5.dir/table2_lut5.cpp.o"
+  "CMakeFiles/table2_lut5.dir/table2_lut5.cpp.o.d"
+  "table2_lut5"
+  "table2_lut5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_lut5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

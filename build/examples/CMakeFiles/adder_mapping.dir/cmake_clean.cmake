@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adder_mapping.dir/adder_mapping.cpp.o"
+  "CMakeFiles/adder_mapping.dir/adder_mapping.cpp.o.d"
+  "adder_mapping"
+  "adder_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adder_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdd_playground.dir/bdd_playground.cpp.o"
+  "CMakeFiles/bdd_playground.dir/bdd_playground.cpp.o.d"
+  "bdd_playground"
+  "bdd_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdd_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyde_cli.dir/hyde_cli.cpp.o"
+  "CMakeFiles/hyde_cli.dir/hyde_cli.cpp.o.d"
+  "hyde_cli"
+  "hyde_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyde_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

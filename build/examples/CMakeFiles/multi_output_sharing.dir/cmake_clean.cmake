@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_output_sharing.dir/multi_output_sharing.cpp.o"
+  "CMakeFiles/multi_output_sharing.dir/multi_output_sharing.cpp.o.d"
+  "multi_output_sharing"
+  "multi_output_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_output_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

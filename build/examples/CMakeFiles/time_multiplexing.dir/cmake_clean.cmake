@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_multiplexing.dir/time_multiplexing.cpp.o"
+  "CMakeFiles/time_multiplexing.dir/time_multiplexing.cpp.o.d"
+  "time_multiplexing"
+  "time_multiplexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_multiplexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for time_multiplexing.
+# This may be replaced when dependencies are built.

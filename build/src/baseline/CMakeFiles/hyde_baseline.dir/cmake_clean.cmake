@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyde_baseline.dir/flows.cpp.o"
+  "CMakeFiles/hyde_baseline.dir/flows.cpp.o.d"
+  "libhyde_baseline.a"
+  "libhyde_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyde_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyde_bdd.dir/bdd.cpp.o"
+  "CMakeFiles/hyde_bdd.dir/bdd.cpp.o.d"
+  "CMakeFiles/hyde_bdd.dir/reorder.cpp.o"
+  "CMakeFiles/hyde_bdd.dir/reorder.cpp.o.d"
+  "CMakeFiles/hyde_bdd.dir/transfer.cpp.o"
+  "CMakeFiles/hyde_bdd.dir/transfer.cpp.o.d"
+  "libhyde_bdd.a"
+  "libhyde_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyde_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

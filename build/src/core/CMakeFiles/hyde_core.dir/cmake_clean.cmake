@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyde_core.dir/encoder.cpp.o"
+  "CMakeFiles/hyde_core.dir/encoder.cpp.o.d"
+  "CMakeFiles/hyde_core.dir/flow.cpp.o"
+  "CMakeFiles/hyde_core.dir/flow.cpp.o.d"
+  "CMakeFiles/hyde_core.dir/hyper.cpp.o"
+  "CMakeFiles/hyde_core.dir/hyper.cpp.o.d"
+  "CMakeFiles/hyde_core.dir/timemux.cpp.o"
+  "CMakeFiles/hyde_core.dir/timemux.cpp.o.d"
+  "libhyde_core.a"
+  "libhyde_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyde_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

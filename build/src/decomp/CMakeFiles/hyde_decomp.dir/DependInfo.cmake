@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/decomp/chart.cpp" "src/decomp/CMakeFiles/hyde_decomp.dir/chart.cpp.o" "gcc" "src/decomp/CMakeFiles/hyde_decomp.dir/chart.cpp.o.d"
+  "/root/repo/src/decomp/compatible.cpp" "src/decomp/CMakeFiles/hyde_decomp.dir/compatible.cpp.o" "gcc" "src/decomp/CMakeFiles/hyde_decomp.dir/compatible.cpp.o.d"
+  "/root/repo/src/decomp/joint.cpp" "src/decomp/CMakeFiles/hyde_decomp.dir/joint.cpp.o" "gcc" "src/decomp/CMakeFiles/hyde_decomp.dir/joint.cpp.o.d"
+  "/root/repo/src/decomp/partition.cpp" "src/decomp/CMakeFiles/hyde_decomp.dir/partition.cpp.o" "gcc" "src/decomp/CMakeFiles/hyde_decomp.dir/partition.cpp.o.d"
+  "/root/repo/src/decomp/step.cpp" "src/decomp/CMakeFiles/hyde_decomp.dir/step.cpp.o" "gcc" "src/decomp/CMakeFiles/hyde_decomp.dir/step.cpp.o.d"
+  "/root/repo/src/decomp/varpart.cpp" "src/decomp/CMakeFiles/hyde_decomp.dir/varpart.cpp.o" "gcc" "src/decomp/CMakeFiles/hyde_decomp.dir/varpart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bdd/CMakeFiles/hyde_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hyde_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tt/CMakeFiles/hyde_tt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

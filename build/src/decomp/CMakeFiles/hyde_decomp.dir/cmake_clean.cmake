@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyde_decomp.dir/chart.cpp.o"
+  "CMakeFiles/hyde_decomp.dir/chart.cpp.o.d"
+  "CMakeFiles/hyde_decomp.dir/compatible.cpp.o"
+  "CMakeFiles/hyde_decomp.dir/compatible.cpp.o.d"
+  "CMakeFiles/hyde_decomp.dir/joint.cpp.o"
+  "CMakeFiles/hyde_decomp.dir/joint.cpp.o.d"
+  "CMakeFiles/hyde_decomp.dir/partition.cpp.o"
+  "CMakeFiles/hyde_decomp.dir/partition.cpp.o.d"
+  "CMakeFiles/hyde_decomp.dir/step.cpp.o"
+  "CMakeFiles/hyde_decomp.dir/step.cpp.o.d"
+  "CMakeFiles/hyde_decomp.dir/varpart.cpp.o"
+  "CMakeFiles/hyde_decomp.dir/varpart.cpp.o.d"
+  "libhyde_decomp.a"
+  "libhyde_decomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyde_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

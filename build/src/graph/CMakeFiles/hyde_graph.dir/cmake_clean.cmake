@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyde_graph.dir/matching.cpp.o"
+  "CMakeFiles/hyde_graph.dir/matching.cpp.o.d"
+  "libhyde_graph.a"
+  "libhyde_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyde_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

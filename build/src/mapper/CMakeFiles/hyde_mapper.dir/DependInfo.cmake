@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapper/flowmap.cpp" "src/mapper/CMakeFiles/hyde_mapper.dir/flowmap.cpp.o" "gcc" "src/mapper/CMakeFiles/hyde_mapper.dir/flowmap.cpp.o.d"
+  "/root/repo/src/mapper/lutmap.cpp" "src/mapper/CMakeFiles/hyde_mapper.dir/lutmap.cpp.o" "gcc" "src/mapper/CMakeFiles/hyde_mapper.dir/lutmap.cpp.o.d"
+  "/root/repo/src/mapper/xc3000.cpp" "src/mapper/CMakeFiles/hyde_mapper.dir/xc3000.cpp.o" "gcc" "src/mapper/CMakeFiles/hyde_mapper.dir/xc3000.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hyde_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hyde_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/hyde_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tt/CMakeFiles/hyde_tt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyde_mapper.dir/flowmap.cpp.o"
+  "CMakeFiles/hyde_mapper.dir/flowmap.cpp.o.d"
+  "CMakeFiles/hyde_mapper.dir/lutmap.cpp.o"
+  "CMakeFiles/hyde_mapper.dir/lutmap.cpp.o.d"
+  "CMakeFiles/hyde_mapper.dir/xc3000.cpp.o"
+  "CMakeFiles/hyde_mapper.dir/xc3000.cpp.o.d"
+  "libhyde_mapper.a"
+  "libhyde_mapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyde_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyde_mcnc.dir/circuits.cpp.o"
+  "CMakeFiles/hyde_mcnc.dir/circuits.cpp.o.d"
+  "CMakeFiles/hyde_mcnc.dir/generators.cpp.o"
+  "CMakeFiles/hyde_mcnc.dir/generators.cpp.o.d"
+  "libhyde_mcnc.a"
+  "libhyde_mcnc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyde_mcnc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

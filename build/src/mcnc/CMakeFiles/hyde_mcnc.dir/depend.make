@@ -1,0 +1,2 @@
+# Empty dependencies file for hyde_mcnc.
+# This may be replaced when dependencies are built.

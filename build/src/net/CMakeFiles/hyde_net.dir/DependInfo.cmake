@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/blif.cpp" "src/net/CMakeFiles/hyde_net.dir/blif.cpp.o" "gcc" "src/net/CMakeFiles/hyde_net.dir/blif.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/hyde_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/hyde_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/pla.cpp" "src/net/CMakeFiles/hyde_net.dir/pla.cpp.o" "gcc" "src/net/CMakeFiles/hyde_net.dir/pla.cpp.o.d"
+  "/root/repo/src/net/verify.cpp" "src/net/CMakeFiles/hyde_net.dir/verify.cpp.o" "gcc" "src/net/CMakeFiles/hyde_net.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bdd/CMakeFiles/hyde_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tt/CMakeFiles/hyde_tt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

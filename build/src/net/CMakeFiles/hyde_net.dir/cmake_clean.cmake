@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyde_net.dir/blif.cpp.o"
+  "CMakeFiles/hyde_net.dir/blif.cpp.o.d"
+  "CMakeFiles/hyde_net.dir/network.cpp.o"
+  "CMakeFiles/hyde_net.dir/network.cpp.o.d"
+  "CMakeFiles/hyde_net.dir/pla.cpp.o"
+  "CMakeFiles/hyde_net.dir/pla.cpp.o.d"
+  "CMakeFiles/hyde_net.dir/verify.cpp.o"
+  "CMakeFiles/hyde_net.dir/verify.cpp.o.d"
+  "libhyde_net.a"
+  "libhyde_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyde_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

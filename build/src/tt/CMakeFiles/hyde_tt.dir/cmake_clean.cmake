@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyde_tt.dir/truth_table.cpp.o"
+  "CMakeFiles/hyde_tt.dir/truth_table.cpp.o.d"
+  "libhyde_tt.a"
+  "libhyde_tt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyde_tt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

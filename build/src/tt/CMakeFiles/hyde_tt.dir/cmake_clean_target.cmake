@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhyde_tt.a"
+)

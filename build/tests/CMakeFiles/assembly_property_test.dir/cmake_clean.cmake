@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assembly_property_test.dir/core/assembly_property_test.cpp.o"
+  "CMakeFiles/assembly_property_test.dir/core/assembly_property_test.cpp.o.d"
+  "assembly_property_test"
+  "assembly_property_test.pdb"
+  "assembly_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assembly_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

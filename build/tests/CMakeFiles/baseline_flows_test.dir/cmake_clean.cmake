@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_flows_test.dir/baseline/flows_test.cpp.o"
+  "CMakeFiles/baseline_flows_test.dir/baseline/flows_test.cpp.o.d"
+  "baseline_flows_test"
+  "baseline_flows_test.pdb"
+  "baseline_flows_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_flows_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

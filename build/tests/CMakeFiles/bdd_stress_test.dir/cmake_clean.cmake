@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdd_stress_test.dir/bdd/bdd_stress_test.cpp.o"
+  "CMakeFiles/bdd_stress_test.dir/bdd/bdd_stress_test.cpp.o.d"
+  "bdd_stress_test"
+  "bdd_stress_test.pdb"
+  "bdd_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdd_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

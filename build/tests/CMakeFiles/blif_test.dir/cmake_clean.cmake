@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blif_test.dir/net/blif_test.cpp.o"
+  "CMakeFiles/blif_test.dir/net/blif_test.cpp.o.d"
+  "blif_test"
+  "blif_test.pdb"
+  "blif_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blif_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuits_semantics_test.dir/mcnc/circuits_semantics_test.cpp.o"
+  "CMakeFiles/circuits_semantics_test.dir/mcnc/circuits_semantics_test.cpp.o.d"
+  "circuits_semantics_test"
+  "circuits_semantics_test.pdb"
+  "circuits_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuits_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

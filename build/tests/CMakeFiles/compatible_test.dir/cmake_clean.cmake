@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compatible_test.dir/decomp/compatible_test.cpp.o"
+  "CMakeFiles/compatible_test.dir/decomp/compatible_test.cpp.o.d"
+  "compatible_test"
+  "compatible_test.pdb"
+  "compatible_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compatible_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

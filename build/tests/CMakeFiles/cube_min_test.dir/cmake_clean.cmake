@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cube_min_test.dir/core/cube_min_test.cpp.o"
+  "CMakeFiles/cube_min_test.dir/core/cube_min_test.cpp.o.d"
+  "cube_min_test"
+  "cube_min_test.pdb"
+  "cube_min_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cube_min_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example32_test.dir/core/example32_test.cpp.o"
+  "CMakeFiles/example32_test.dir/core/example32_test.cpp.o.d"
+  "example32_test"
+  "example32_test.pdb"
+  "example32_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example32_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_fuzz_test.dir/core/flow_fuzz_test.cpp.o"
+  "CMakeFiles/flow_fuzz_test.dir/core/flow_fuzz_test.cpp.o.d"
+  "flow_fuzz_test"
+  "flow_fuzz_test.pdb"
+  "flow_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowmap_test.dir/mapper/flowmap_test.cpp.o"
+  "CMakeFiles/flowmap_test.dir/mapper/flowmap_test.cpp.o.d"
+  "flowmap_test"
+  "flowmap_test.pdb"
+  "flowmap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

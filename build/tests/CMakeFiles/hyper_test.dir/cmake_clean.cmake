@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyper_test.dir/core/hyper_test.cpp.o"
+  "CMakeFiles/hyper_test.dir/core/hyper_test.cpp.o.d"
+  "hyper_test"
+  "hyper_test.pdb"
+  "hyper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyper_theorems_test.dir/core/hyper_theorems_test.cpp.o"
+  "CMakeFiles/hyper_theorems_test.dir/core/hyper_theorems_test.cpp.o.d"
+  "hyper_theorems_test"
+  "hyper_theorems_test.pdb"
+  "hyper_theorems_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyper_theorems_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapper_test.dir/mapper/mapper_test.cpp.o"
+  "CMakeFiles/mapper_test.dir/mapper/mapper_test.cpp.o.d"
+  "mapper_test"
+  "mapper_test.pdb"
+  "mapper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matching_deep_test.dir/graph/matching_deep_test.cpp.o"
+  "CMakeFiles/matching_deep_test.dir/graph/matching_deep_test.cpp.o.d"
+  "matching_deep_test"
+  "matching_deep_test.pdb"
+  "matching_deep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matching_deep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

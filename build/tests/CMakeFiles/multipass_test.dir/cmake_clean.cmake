@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipass_test.dir/core/multipass_test.cpp.o"
+  "CMakeFiles/multipass_test.dir/core/multipass_test.cpp.o.d"
+  "multipass_test"
+  "multipass_test.pdb"
+  "multipass_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipass_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_edge_test.dir/net/network_edge_test.cpp.o"
+  "CMakeFiles/network_edge_test.dir/net/network_edge_test.cpp.o.d"
+  "network_edge_test"
+  "network_edge_test.pdb"
+  "network_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/decomp/partition_test.cpp" "tests/CMakeFiles/partition_test.dir/decomp/partition_test.cpp.o" "gcc" "tests/CMakeFiles/partition_test.dir/decomp/partition_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tt/CMakeFiles/hyde_tt.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/hyde_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hyde_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hyde_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/hyde_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hyde_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapper/CMakeFiles/hyde_mapper.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/hyde_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcnc/CMakeFiles/hyde_mcnc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pla_test.dir/net/pla_test.cpp.o"
+  "CMakeFiles/pla_test.dir/net/pla_test.cpp.o.d"
+  "pla_test"
+  "pla_test.pdb"
+  "pla_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pla_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/step_test.dir/decomp/step_test.cpp.o"
+  "CMakeFiles/step_test.dir/decomp/step_test.cpp.o.d"
+  "step_test"
+  "step_test.pdb"
+  "step_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/step_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_sweep_test.dir/integration/suite_sweep_test.cpp.o"
+  "CMakeFiles/suite_sweep_test.dir/integration/suite_sweep_test.cpp.o.d"
+  "suite_sweep_test"
+  "suite_sweep_test.pdb"
+  "suite_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorems_test.dir/decomp/theorems_test.cpp.o"
+  "CMakeFiles/theorems_test.dir/decomp/theorems_test.cpp.o.d"
+  "theorems_test"
+  "theorems_test.pdb"
+  "theorems_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorems_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timemux_test.dir/core/timemux_test.cpp.o"
+  "CMakeFiles/timemux_test.dir/core/timemux_test.cpp.o.d"
+  "timemux_test"
+  "timemux_test.pdb"
+  "timemux_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timemux_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/truth_table_edge_test.dir/tt/truth_table_edge_test.cpp.o"
+  "CMakeFiles/truth_table_edge_test.dir/tt/truth_table_edge_test.cpp.o.d"
+  "truth_table_edge_test"
+  "truth_table_edge_test.pdb"
+  "truth_table_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/truth_table_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

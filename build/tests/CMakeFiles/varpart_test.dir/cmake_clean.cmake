@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/varpart_test.dir/decomp/varpart_test.cpp.o"
+  "CMakeFiles/varpart_test.dir/decomp/varpart_test.cpp.o.d"
+  "varpart_test"
+  "varpart_test.pdb"
+  "varpart_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/varpart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

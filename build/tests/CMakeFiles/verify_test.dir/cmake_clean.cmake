@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_test.dir/net/verify_test.cpp.o"
+  "CMakeFiles/verify_test.dir/net/verify_test.cpp.o.d"
+  "verify_test"
+  "verify_test.pdb"
+  "verify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
