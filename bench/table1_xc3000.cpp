@@ -5,15 +5,32 @@
 /// circuits are documented synthetic stand-ins, see DESIGN.md §3); the claim
 /// under reproduction is the *relative* shape: HYDE's total at or below the
 /// baselines' on the common subset.
+///
+/// All (circuit, system) jobs run through the runtime batch scheduler with
+/// the shared NPN result cache; per-job results are identical to the former
+/// serial loop because job seeds and cache contents never depend on the
+/// schedule (see docs/RUNTIME.md).
 
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
+#include "runtime/batch.hpp"
 
 int main() {
   using hyde::baseline::System;
   using hyde::benchutil::paper_cell;
-  using hyde::benchutil::run;
+
+  const auto rows = hyde::mcnc::paper_table1();
+  std::vector<hyde::runtime::BatchJob> jobs;
+  for (const auto& row : rows) {
+    for (System system :
+         {System::kImodecLike, System::kFgsynLike, System::kHyde}) {
+      jobs.push_back(hyde::runtime::BatchJob{row.circuit, system, 5, 1});
+    }
+  }
+  hyde::runtime::BatchOptions options;
+  options.workers = hyde::runtime::default_worker_count();
+  const hyde::runtime::RunReport report = hyde::runtime::run_batch(jobs, options);
 
   std::printf("Table 1: Experimental Results for XC3000 Device (CLB counts)\n");
   std::printf(
@@ -24,13 +41,13 @@ int main() {
 
   long total_imodec = 0, total_fgsyn = 0, total_hyde = 0;
   long paper_imodec = 0, paper_fgsyn = 0, paper_hyde = 0;
-  bool all_verified = true;
-  for (const auto& row : hyde::mcnc::paper_table1()) {
-    const auto imodec = run(row.circuit, System::kImodecLike, 5);
-    const auto fgsyn = run(row.circuit, System::kFgsynLike, 5);
-    const auto hyde = run(row.circuit, System::kHyde, 5);
+  bool all_verified = report.all_ok();
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    const auto& imodec = report.jobs[3 * r];
+    const auto& fgsyn = report.jobs[3 * r + 1];
+    const auto& hyde = report.jobs[3 * r + 2];
     const bool verified = imodec.verified && fgsyn.verified && hyde.verified;
-    all_verified = all_verified && verified;
     total_imodec += imodec.clbs;
     total_fgsyn += fgsyn.clbs;
     total_hyde += hyde.clbs;
@@ -46,7 +63,6 @@ int main() {
                 paper_cell(row.fgsyn_clb).c_str(),
                 paper_cell(row.hyde_clb).c_str(), row.cpu_seconds,
                 verified ? "yes" : "NO");
-    std::fflush(stdout);
   }
   std::printf("%s\n", std::string(110, '-').c_str());
   std::printf("%-8s | %8ld %8ld %8ld %8s | %8ld %8ld %8ld\n", "Total",
@@ -56,6 +72,12 @@ int main() {
               "p.* columns repeat the paper's reported numbers.\n"
               " Paper subtotals over the FGSyn-covered subset: "
               "IMODEC 964, FGSyn 895, HYDE 864.)\n");
+  std::printf("\n%zu jobs in %.2fs wall on %d workers; NPN cache: %llu "
+              "lookups, %llu unique functions, %.1f%% observed hit rate\n",
+              report.jobs.size(), report.wall_seconds, report.workers,
+              static_cast<unsigned long long>(report.cache.flow_lookups),
+              static_cast<unsigned long long>(report.cache.unique_functions),
+              100.0 * report.cache.hit_rate());
   std::printf("\nShape check: HYDE total %s IMODEC-like total; HYDE total %s "
               "FGSyn-like total; all circuits verified: %s\n",
               total_hyde <= total_imodec ? "<=" : ">",

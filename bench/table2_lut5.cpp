@@ -6,15 +6,32 @@
 /// Shape under reproduction: HYDE competitive with the resubstitution flow
 /// while handling the large circuits [8] could not (des, e64, rot, C499,
 /// C880 — the '-' rows).
+///
+/// All (circuit, system) jobs run through the runtime batch scheduler with
+/// the shared NPN result cache; per-job results are identical to the former
+/// serial loop because job seeds and cache contents never depend on the
+/// schedule (see docs/RUNTIME.md).
 
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
+#include "runtime/batch.hpp"
 
 int main() {
   using hyde::baseline::System;
   using hyde::benchutil::paper_cell;
-  using hyde::benchutil::run;
+
+  const auto rows = hyde::mcnc::paper_table2();
+  std::vector<hyde::runtime::BatchJob> jobs;
+  for (const auto& row : rows) {
+    for (System system : {System::kSawadaLike, System::kSawadaResubLike,
+                          System::kHyde}) {
+      jobs.push_back(hyde::runtime::BatchJob{row.circuit, system, 5, 1});
+    }
+  }
+  hyde::runtime::BatchOptions options;
+  options.workers = hyde::runtime::default_worker_count();
+  const hyde::runtime::RunReport report = hyde::runtime::run_batch(jobs, options);
 
   std::printf("Table 2: Experimental Results for 5-input 1-output LUTs\n");
   std::printf("%-8s | %8s %8s %8s | %8s %8s %8s %8s | %s\n", "circuit",
@@ -24,13 +41,13 @@ int main() {
 
   long total_noresub = 0, total_resub = 0, total_hyde = 0;
   long common_noresub = 0, common_resub = 0, common_hyde = 0;
-  bool all_verified = true;
-  for (const auto& row : hyde::mcnc::paper_table2()) {
-    const auto noresub = run(row.circuit, System::kSawadaLike, 5);
-    const auto resub = run(row.circuit, System::kSawadaResubLike, 5);
-    const auto hyde = run(row.circuit, System::kHyde, 5);
+  bool all_verified = report.all_ok();
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    const auto& noresub = report.jobs[3 * r];
+    const auto& resub = report.jobs[3 * r + 1];
+    const auto& hyde = report.jobs[3 * r + 2];
     const bool verified = noresub.verified && resub.verified && hyde.verified;
-    all_verified = all_verified && verified;
     total_noresub += noresub.luts;
     total_resub += resub.luts;
     total_hyde += hyde.luts;
@@ -45,7 +62,6 @@ int main() {
                 paper_cell(row.resub_lut).c_str(),
                 paper_cell(row.po_lut).c_str(),
                 paper_cell(row.hyde_lut).c_str(), verified ? "yes" : "NO");
-    std::fflush(stdout);
   }
   std::printf("%s\n", std::string(100, '-').c_str());
   std::printf("%-8s | %8ld %8ld %8ld |   (paper totals on the same subset: "
@@ -55,6 +71,12 @@ int main() {
               total_hyde);
   std::printf("\n(* simplified reimplementations; see DESIGN.md §3. "
               "'Common' sums rows where [8] reported numbers.)\n");
+  std::printf("\n%zu jobs in %.2fs wall on %d workers; NPN cache: %llu "
+              "lookups, %llu unique functions, %.1f%% observed hit rate\n",
+              report.jobs.size(), report.wall_seconds, report.workers,
+              static_cast<unsigned long long>(report.cache.flow_lookups),
+              static_cast<unsigned long long>(report.cache.unique_functions),
+              100.0 * report.cache.hit_rate());
   std::printf("\nShape check: HYDE common-total %s plain-RK common-total; "
               "all large '-' circuits completed by HYDE: yes; "
               "all circuits verified: %s\n",

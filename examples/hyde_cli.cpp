@@ -1,12 +1,26 @@
 /// hyde_cli — command-line front end for the whole flow.
 ///
 ///   hyde_cli [options] <circuit.blif|circuit.pla|@benchmark>
+///   hyde_cli --batch [options]
 ///
-///   -k <n>        LUT input count (default 5)
+///   -k <n>        LUT input count, 3..8 (default 5)
 ///   -s <system>   hyde | imodec | fgsyn | rk | rk-resub | all (default hyde)
 ///   -o <file>     write the mapped network as BLIF (default: no output file)
 ///   --pla-out <f> write the mapped network as a flattened PLA
 ///   --no-verify   skip the random-vector equivalence check
+///
+/// Batch mode sweeps the whole built-in MCNC-like suite (times the selected
+/// systems) in parallel through the runtime scheduler and NPN result cache:
+///
+///   --batch           run the suite sweep instead of a single circuit
+///   --workers <n>     thread-pool size (default: hardware concurrency)
+///   --seed <n>        base seed for every job (default 1)
+///   --json <file>     write the full RunReport as JSON
+///   --csv <file>      write per-job rows as CSV
+///   --deterministic-json  strip volatile fields (wall-clock, worker count,
+///                     observed cache hits) from the JSON output, leaving the
+///                     schedule-independent subset
+///   --no-cache        disable the shared NPN decomposition cache
 ///
 /// `@name` pulls a circuit from the built-in MCNC-like suite (e.g. @9sym).
 /// PLA inputs with `-` outputs feed their don't cares into the flow.
@@ -24,14 +38,30 @@
 #include "mcnc/benchmarks.hpp"
 #include "net/blif.hpp"
 #include "net/pla.hpp"
+#include "runtime/batch.hpp"
 
 namespace {
+
+const std::vector<std::pair<std::string, hyde::baseline::System>>&
+known_systems() {
+  static const std::vector<std::pair<std::string, hyde::baseline::System>> k{
+      {"hyde", hyde::baseline::System::kHyde},
+      {"imodec", hyde::baseline::System::kImodecLike},
+      {"fgsyn", hyde::baseline::System::kFgsynLike},
+      {"rk", hyde::baseline::System::kSawadaLike},
+      {"rk-resub", hyde::baseline::System::kSawadaResubLike},
+  };
+  return k;
+}
 
 int usage() {
   std::fprintf(stderr,
                "usage: hyde_cli [-k n] [-s hyde|imodec|fgsyn|rk|rk-resub|all] "
                "[-o out.blif] [--pla-out out.pla] [--no-verify] "
-               "<circuit.blif|circuit.pla|@benchmark>\n");
+               "<circuit.blif|circuit.pla|@benchmark>\n"
+               "       hyde_cli --batch [-k n] [-s system|all] [--workers n] "
+               "[--seed n] [--json file] [--csv file] [--deterministic-json] "
+               "[--no-cache] [--no-verify]\n");
   return 2;
 }
 
@@ -40,33 +70,183 @@ bool ends_with(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
+/// Strict decimal parse: the whole argument must be a number. Guards against
+/// `-k banana` silently becoming k=0 through atoi.
+bool parse_long(const std::string& arg, long* out) {
+  if (arg.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(arg.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+int run_batch_mode(const std::string& system_name, int k, int workers,
+                   std::uint64_t seed, bool verify, bool use_cache,
+                   const std::string& json_path, const std::string& csv_path,
+                   bool deterministic_json) {
+  using namespace hyde;
+  std::vector<baseline::System> systems;
+  for (const auto& [name, system] : known_systems()) {
+    if (system_name == "all" || system_name == name) systems.push_back(system);
+  }
+
+  const std::vector<std::string> circuits = mcnc::all_circuits();
+  const auto jobs = runtime::suite_jobs(circuits, systems, k, seed);
+  runtime::BatchOptions options;
+  options.workers = workers;
+  options.verify_vectors = verify ? 128 : 0;
+  options.use_cache = use_cache;
+
+  std::printf("batch: %zu jobs (%zu circuits x %zu systems), k=%d, "
+              "%d workers, cache %s\n",
+              jobs.size(), circuits.size(), systems.size(), k, options.workers,
+              use_cache ? "on" : "off");
+  const runtime::RunReport report = runtime::run_batch(jobs, options);
+
+  std::printf("%-10s %-10s %6s %6s %6s  %s\n", "circuit", "system", "LUTs",
+              "CLBs", "depth", verify ? "verified" : "unverified");
+  for (const auto& job : report.jobs) {
+    if (!job.error.empty()) {
+      std::printf("%-10s %-10s  ERROR: %s\n", job.circuit.c_str(),
+                  job.system.c_str(), job.error.c_str());
+      continue;
+    }
+    std::printf("%-10s %-10s %6d %6d %6d  %s\n", job.circuit.c_str(),
+                job.system.c_str(), job.luts, job.clbs, job.depth,
+                !verify           ? "-"
+                : job.verified    ? "ok"
+                                  : "FAILED");
+  }
+  std::printf("\n%zu jobs in %.2fs wall on %d workers\n", report.jobs.size(),
+              report.wall_seconds, report.workers);
+  std::printf("NPN cache: %llu lookups, %llu unique functions, "
+              "%llu hits / %llu misses observed (%.1f%% hit rate)\n",
+              static_cast<unsigned long long>(report.cache.flow_lookups),
+              static_cast<unsigned long long>(report.cache.unique_functions),
+              static_cast<unsigned long long>(report.cache.hits),
+              static_cast<unsigned long long>(report.cache.misses),
+              100.0 * report.cache.hit_rate());
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << runtime::to_json(report, !deterministic_json);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", csv_path.c_str());
+      return 1;
+    }
+    out << runtime::to_csv(report);
+    std::printf("wrote %s\n", csv_path.c_str());
+  }
+  return report.all_ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace hyde;
   int k = 5;
   std::string system_name = "hyde";
-  std::string out_blif, out_pla, source;
+  std::string out_blif, out_pla, source, json_path, csv_path;
   bool verify = true;
+  bool batch = false;
+  bool use_cache = true;
+  bool deterministic_json = false;
+  int workers = runtime::default_worker_count();
+  std::uint64_t seed = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "-k" && i + 1 < argc) {
-      k = std::atoi(argv[++i]);
+      long value = 0;
+      if (!parse_long(argv[++i], &value) || value < 2) {
+        std::fprintf(stderr,
+                     "error: -k expects an integer >= 2, got '%s'\n", argv[i]);
+        return 2;
+      }
+      if (value < 3 || value > 8) {
+        std::fprintf(stderr,
+                     "error: -k %ld is outside the supported range 3..8\n",
+                     value);
+        return 2;
+      }
+      k = static_cast<int>(value);
     } else if (arg == "-s" && i + 1 < argc) {
       system_name = argv[++i];
+      bool known = system_name == "all";
+      for (const auto& [name, system] : known_systems()) {
+        (void)system;
+        known = known || system_name == name;
+      }
+      if (!known) {
+        std::fprintf(stderr,
+                     "error: unknown system '%s' for -s; expected one of "
+                     "hyde, imodec, fgsyn, rk, rk-resub, all\n",
+                     system_name.c_str());
+        return 2;
+      }
     } else if (arg == "-o" && i + 1 < argc) {
       out_blif = argv[++i];
     } else if (arg == "--pla-out" && i + 1 < argc) {
       out_pla = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--csv" && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else if (arg == "--workers" && i + 1 < argc) {
+      long value = 0;
+      if (!parse_long(argv[++i], &value) || value < 1 || value > 1024) {
+        std::fprintf(stderr,
+                     "error: --workers expects an integer in 1..1024, "
+                     "got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      workers = static_cast<int>(value);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      long value = 0;
+      if (!parse_long(argv[++i], &value) || value < 0) {
+        std::fprintf(stderr, "error: --seed expects a non-negative integer, "
+                             "got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      seed = static_cast<std::uint64_t>(value);
     } else if (arg == "--no-verify") {
       verify = false;
+    } else if (arg == "--batch") {
+      batch = true;
+    } else if (arg == "--no-cache") {
+      use_cache = false;
+    } else if (arg == "--deterministic-json") {
+      deterministic_json = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else {
       source = arg;
     }
   }
-  if (source.empty() || k < 3 || k > 8) return usage();
+
+  if (batch) {
+    if (!source.empty()) {
+      std::fprintf(stderr,
+                   "error: --batch sweeps the built-in suite; drop the "
+                   "circuit argument '%s'\n",
+                   source.c_str());
+      return 2;
+    }
+    return run_batch_mode(system_name, k, workers, seed, verify, use_cache,
+                          json_path, csv_path, deterministic_json);
+  }
+  if (source.empty()) return usage();
 
   // Load the circuit (and possible external don't cares).
   net::Network input("empty");
@@ -97,17 +277,9 @@ int main(int argc, char** argv) {
   std::printf("loaded %s%s\n", input.stats().c_str(),
               has_dc ? " (+ external don't cares)" : "");
 
-  const std::vector<std::pair<std::string, baseline::System>> known{
-      {"hyde", baseline::System::kHyde},
-      {"imodec", baseline::System::kImodecLike},
-      {"fgsyn", baseline::System::kFgsynLike},
-      {"rk", baseline::System::kSawadaLike},
-      {"rk-resub", baseline::System::kSawadaResubLike},
-  };
-
   net::Network best_network("none");
   int best_luts = -1;
-  for (const auto& [name, system] : known) {
+  for (const auto& [name, system] : known_systems()) {
     if (system_name != "all" && system_name != name) continue;
     // For DC-aware runs use the core flow directly (baseline::run_system
     // does not thread external don't cares).

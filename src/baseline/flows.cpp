@@ -24,7 +24,8 @@ std::string system_name(System system) {
 }
 
 BaselineResult run_system(const net::Network& input, System system, int k,
-                          int verify_vectors, std::uint64_t seed) {
+                          int verify_vectors, std::uint64_t seed,
+                          core::DecompCache* cache, int cache_max_support) {
   core::FlowOptions options;
   switch (system) {
     case System::kHyde:
@@ -42,6 +43,8 @@ BaselineResult run_system(const net::Network& input, System system, int k,
       break;
   }
   options.seed = seed;
+  options.cache = cache;
+  options.cache_max_support = cache_max_support;
 
   const auto start = std::chrono::steady_clock::now();
   core::FlowResult flow = core::run_flow(input, options);

@@ -39,7 +39,12 @@ std::string system_name(System system);
 
 /// Runs the full flow for \p system over \p input with k-input LUTs.
 /// \p verify_vectors random input vectors are checked (0 disables).
+/// \p cache optionally shares NPN-memoized decompositions across runs (see
+/// core/decomp_cache.hpp; the runtime's batch scheduler passes one cache to
+/// every job).
 BaselineResult run_system(const net::Network& input, System system, int k,
-                          int verify_vectors = 256, std::uint64_t seed = 1);
+                          int verify_vectors = 256, std::uint64_t seed = 1,
+                          core::DecompCache* cache = nullptr,
+                          int cache_max_support = 7);
 
 }  // namespace hyde::baseline

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "tt/npn.hpp"
+
 namespace hyde::core {
 
 namespace {
@@ -18,12 +20,39 @@ int bits_for(int n) {
   return bits;
 }
 
+/// Digest of every FlowOptions knob that shapes a cached template
+/// decomposition. Part of the cache key: runs with different policies never
+/// share entries (job seeds deliberately excluded — templates derive their
+/// seed from the canonical function, see compute_template).
+std::uint64_t cache_fingerprint(const FlowOptions& options) {
+  std::uint64_t h = 0x243F6A8885A308D3ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  };
+  mix(static_cast<std::uint64_t>(options.k));
+  mix(static_cast<std::uint64_t>(options.encoding));
+  mix(static_cast<std::uint64_t>(options.dc_policy));
+  mix(options.ppi_hard_mu ? 1 : 0);
+  return h;
+}
+
 /// Recursive Roth–Karp decomposer writing k-feasible nodes into a network.
 class Decomposer {
  public:
+  /// \p cache_ceiling caps the support size consulted in the NPN cache; the
+  /// default derives it from the options. Template sub-decomposers pass their
+  /// own function's arity minus one so the top-level call cannot look itself
+  /// up while it is being computed.
   Decomposer(bdd::Manager& gm, net::Network& out, const FlowOptions& options,
-             FlowStats& stats)
-      : gm_(gm), out_(out), options_(options), stats_(stats) {}
+             FlowStats& stats, int cache_ceiling = -1)
+      : gm_(gm),
+        out_(out),
+        options_(options),
+        stats_(stats),
+        cache_ceiling_(cache_ceiling >= 0
+                           ? cache_ceiling
+                           : std::min(options.cache_max_support,
+                                      tt::kMaxExactNpnVars)) {}
 
   /// Declares that manager variable \p var is computed by network node.
   void map_var(int var, net::NodeId node) { var_node_[var] = node; }
@@ -47,6 +76,12 @@ class Decomposer {
     const std::vector<int> support = isf_support(f);
     if (static_cast<int>(support.size()) <= options_.k) {
       return leaf(f, support);
+    }
+
+    if (options_.cache != nullptr &&
+        static_cast<int>(support.size()) <= cache_ceiling_) {
+      const net::NodeId cached = from_cache(f, support);
+      if (cached != net::kNoNode) return cached;
     }
 
     // Bound-set selection: honour a caller hint (the encoder's λ'), else
@@ -148,6 +183,120 @@ class Decomposer {
   }
 
  private:
+  /// Realizes f through the NPN memo: canonicalize, look up (computing and
+  /// publishing the template on a miss), then replay the template over the
+  /// actual support with the NPN transform folded into the instantiated LUTs.
+  /// Returns kNoNode for degenerate templates, falling back to the normal
+  /// recursion.
+  net::NodeId from_cache(const IsfBdd& f, const std::vector<int>& support) {
+    ++stats_.cache_lookups;
+    const tt::Isf table{gm_.to_truth_table(f.on, support),
+                        gm_.to_truth_table(f.dc, support)};
+    const tt::NpnCanonization canon = tt::npn_canonize(table);
+    const NpnCacheKey key{canon.canonical.on, canon.canonical.dc,
+                          cache_fingerprint(options_)};
+    auto entry = options_.cache->lookup(key);
+    if (entry == nullptr) {
+      CachedDecomposition fresh = compute_template(key);
+      if (fresh.root < fresh.num_inputs) return net::kNoNode;
+      entry = options_.cache->insert(key, std::move(fresh));
+    }
+    // Identical on hits and misses, so FlowStats (and the encoder seeds they
+    // feed) never depend on which job populated the cache first.
+    stats_.decomposition_steps += entry->stats.decomposition_steps;
+    stats_.shannon_fallbacks += entry->stats.shannon_fallbacks;
+    stats_.encoder_runs += entry->stats.encoder_runs;
+    stats_.encoder_random_kept += entry->stats.encoder_random_kept;
+    return instantiate(*entry, canon.transform, support);
+  }
+
+  /// Decomposes the canonical function in a private manager/network and packs
+  /// the result into a plain, shareable template. Pure function of \p key:
+  /// the sub-flow's seed comes from the key content, never from the job.
+  CachedDecomposition compute_template(const NpnCacheKey& key) {
+    const int n = key.on.num_vars();
+    net::Network tmpl("npn_template");
+    bdd::Manager tm(std::max(2, n));
+    FlowOptions sub_options = options_;
+    sub_options.seed = key.hash() | 1;
+    FlowStats sub_stats;
+    Decomposer sub(tm, tmpl, sub_options, sub_stats, n - 1);
+    std::vector<int> vars;
+    for (int i = 0; i < n; ++i) {
+      vars.push_back(i);
+      sub.map_var(i, tmpl.add_input("x" + std::to_string(i)));
+    }
+    sub.reserve_vars(n);
+    const IsfBdd g{tm.from_truth_table(key.on, vars),
+                   tm.from_truth_table(key.dc, vars)};
+    tmpl.add_output("f", sub.decompose(g));
+    tmpl.sweep();
+
+    CachedDecomposition entry;
+    entry.num_inputs = n;
+    std::unordered_map<net::NodeId, int> index;
+    for (std::size_t i = 0; i < tmpl.inputs().size(); ++i) {
+      index.emplace(tmpl.inputs()[i], static_cast<int>(i));
+    }
+    for (net::NodeId id : tmpl.topo_order()) {
+      const net::Node& node = tmpl.node(id);
+      if (node.kind != net::NodeKind::kLogic) continue;
+      TemplateNode tn;
+      for (net::NodeId fi : node.fanins) tn.fanins.push_back(index.at(fi));
+      tn.table = tmpl.local_tt(id);
+      index.emplace(id,
+                    n + static_cast<int>(entry.nodes.size()));
+      entry.nodes.push_back(std::move(tn));
+    }
+    entry.root = index.at(tmpl.outputs()[0].driver);
+    entry.stats.decomposition_steps = sub_stats.decomposition_steps;
+    entry.stats.shannon_fallbacks = sub_stats.shannon_fallbacks;
+    entry.stats.encoder_runs = sub_stats.encoder_runs;
+    entry.stats.encoder_random_kept = sub_stats.encoder_random_kept;
+    return entry;
+  }
+
+  /// Replays a template into the output network. Canonical input j reads the
+  /// node of support[transform.perm[j]]; input negations are folded into the
+  /// consuming LUTs' tables and the output negation into the root LUT, so the
+  /// instantiation adds exactly nodes.size() nodes.
+  net::NodeId instantiate(const CachedDecomposition& entry,
+                          const tt::NpnTransform& t,
+                          const std::vector<int>& support) {
+    const int n = entry.num_inputs;
+    std::vector<net::NodeId> ref(static_cast<std::size_t>(n) +
+                                 entry.nodes.size());
+    std::vector<char> negated(static_cast<std::size_t>(n), 0);
+    for (int j = 0; j < n; ++j) {
+      const int var = support[static_cast<std::size_t>(t.perm[static_cast<std::size_t>(j)])];
+      const auto it = var_node_.find(var);
+      if (it == var_node_.end()) {
+        throw std::logic_error("Decomposer: unmapped variable in template");
+      }
+      ref[static_cast<std::size_t>(j)] = it->second;
+      negated[static_cast<std::size_t>(j)] = (t.input_negations >> j) & 1;
+    }
+    for (std::size_t i = 0; i < entry.nodes.size(); ++i) {
+      const TemplateNode& tn = entry.nodes[i];
+      tt::TruthTable local = tn.table;
+      std::vector<net::NodeId> fanins;
+      fanins.reserve(tn.fanins.size());
+      for (std::size_t p = 0; p < tn.fanins.size(); ++p) {
+        const int fi = tn.fanins[p];
+        if (fi < n && negated[static_cast<std::size_t>(fi)]) {
+          local = local.flip_var(static_cast<int>(p));
+        }
+        fanins.push_back(ref[static_cast<std::size_t>(fi)]);
+      }
+      if (static_cast<int>(n + i) == entry.root && t.output_negated) {
+        local = ~local;
+      }
+      ref[static_cast<std::size_t>(n) + i] =
+          out_.add_logic_tt(out_.fresh_name("n"), std::move(fanins), local);
+    }
+    return ref[static_cast<std::size_t>(entry.root)];
+  }
+
   bool is_ppi(int v) const {
     return std::find(ppi_vars_.begin(), ppi_vars_.end(), v) != ppi_vars_.end();
   }
@@ -259,6 +408,7 @@ class Decomposer {
   std::unordered_map<int, net::NodeId> var_node_;
   std::vector<int> ppi_vars_;
   int next_var_ = 0;
+  int cache_ceiling_ = 0;
 };
 
 /// Greedy support-overlap grouping of primary outputs for hyper-functions.
@@ -379,6 +529,7 @@ FlowResult run_flow(const net::Network& input, const FlowOptions& options,
     next.stats.hyper_groups += result.stats.hyper_groups;
     next.stats.encoder_runs += result.stats.encoder_runs;
     next.stats.encoder_random_kept += result.stats.encoder_random_kept;
+    next.stats.cache_lookups += result.stats.cache_lookups;
     result = std::move(next);
   }
   return result;

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "core/decomp_cache.hpp"
 #include "core/encoder.hpp"
 #include "core/hyper.hpp"
 #include "net/network.hpp"
@@ -61,6 +62,13 @@ struct FlowOptions {
   /// Number of flow applications (the paper re-applies its multi-level
   /// script "several times"); each pass feeds the previous pass's network.
   int passes = 1;
+  /// Optional NPN decomposition memo shared across flows/threads (see
+  /// decomp_cache.hpp for the determinism and thread-safety contracts).
+  /// Null keeps the historical uncached behaviour.
+  DecompCache* cache = nullptr;
+  /// Functions with support in (k, cache_max_support] go through the cache;
+  /// capped at tt::kMaxExactNpnVars by the canonicalizer.
+  int cache_max_support = 7;
 };
 
 /// Flow outcome counters (area is the post-sweep logic node count; the
@@ -72,6 +80,9 @@ struct FlowStats {
   int encoder_runs = 0;
   int encoder_random_kept = 0;  ///< Step-8 chose the random encoding
   bool collapse_mode = false;
+  /// NPN-cache consultations by this flow (schedule-independent; global
+  /// hit/miss totals live on the cache itself, which is shared state).
+  int cache_lookups = 0;
 };
 
 struct FlowResult {

@@ -1,0 +1,51 @@
+#include "runtime/npn_cache.hpp"
+
+namespace hyde::runtime {
+
+std::shared_ptr<const core::CachedDecomposition> NpnResultCache::lookup(
+    const core::NpnCacheKey& key) {
+  Shard& shard = shard_for(key);
+  std::shared_ptr<const core::CachedDecomposition> entry;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) entry = it->second;
+  }
+  (entry ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+  return entry;
+}
+
+std::shared_ptr<const core::CachedDecomposition> NpnResultCache::insert(
+    const core::NpnCacheKey& key, core::CachedDecomposition value) {
+  auto entry =
+      std::make_shared<const core::CachedDecomposition>(std::move(value));
+  Shard& shard = shard_for(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto [it, inserted] = shard.map.emplace(key, entry);
+    if (!inserted) {
+      races_lost_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  return entry;
+}
+
+std::uint64_t NpnResultCache::size() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+NpnCacheCounters NpnResultCache::counters() const {
+  NpnCacheCounters c;
+  c.hits = hits_.load(std::memory_order_relaxed);
+  c.misses = misses_.load(std::memory_order_relaxed);
+  c.races_lost = races_lost_.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace hyde::runtime

@@ -1,0 +1,78 @@
+/// \file npn_cache.hpp
+/// \brief Sharded, thread-safe NPN decomposition memo for the batch runtime.
+///
+/// Implements core::DecompCache with a fixed array of shards, each a hash map
+/// under its own mutex, selected by key hash. Shard locks are held only for
+/// the map operation itself — template *computation* happens outside any lock
+/// (the flow computes on miss, then inserts), so two workers may race the
+/// same key; the determinism contract in core/decomp_cache.hpp makes both
+/// computed values bit-identical and first-insert-wins safe.
+///
+/// Counter semantics (see also runtime/report.hpp): `hits`, `misses` and
+/// `races_lost` are *observed* values — they legitimately vary with worker
+/// count and scheduling. Schedule-independent cache figures (total flow
+/// lookups, unique functions) are derived from FlowStats and `size()`.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/decomp_cache.hpp"
+
+namespace hyde::runtime {
+
+/// Observed cache traffic counters (schedule-dependent, reporting only).
+struct NpnCacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t races_lost = 0;  ///< inserts that found the key already there
+};
+
+class NpnResultCache final : public core::DecompCache {
+ public:
+  static constexpr int kNumShards = 16;
+
+  NpnResultCache() = default;
+  NpnResultCache(const NpnResultCache&) = delete;
+  NpnResultCache& operator=(const NpnResultCache&) = delete;
+
+  std::shared_ptr<const core::CachedDecomposition> lookup(
+      const core::NpnCacheKey& key) override;
+  std::shared_ptr<const core::CachedDecomposition> insert(
+      const core::NpnCacheKey& key, core::CachedDecomposition value) override;
+
+  /// Number of distinct memoized functions. Schedule-independent once all
+  /// workers are quiescent.
+  std::uint64_t size() const;
+
+  NpnCacheCounters counters() const;
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const core::NpnCacheKey& key) const {
+      return static_cast<std::size_t>(key.hash());
+    }
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<core::NpnCacheKey,
+                       std::shared_ptr<const core::CachedDecomposition>,
+                       KeyHash>
+        map;
+  };
+
+  Shard& shard_for(const core::NpnCacheKey& key) {
+    return shards_[key.hash() % kNumShards];
+  }
+
+  Shard shards_[kNumShards];
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> races_lost_{0};
+};
+
+}  // namespace hyde::runtime

@@ -1,0 +1,135 @@
+#include "runtime/report.hpp"
+
+#include <cstdio>
+
+namespace hyde::runtime {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+std::string format_double(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_json(const RunReport& report, bool include_volatile) {
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": \"hyde.run_report.v1\",\n";
+  out += "  \"verify_vectors\": " + std::to_string(report.verify_vectors) + ",\n";
+  if (include_volatile) {
+    out += "  \"workers\": " + std::to_string(report.workers) + ",\n";
+    out += "  \"wall_seconds\": " + format_double(report.wall_seconds) + ",\n";
+  }
+  out += "  \"cache\": {\n";
+  out += std::string("    \"enabled\": ") +
+         (report.cache.enabled ? "true" : "false") + ",\n";
+  out += "    \"max_support\": " + std::to_string(report.cache.max_support) + ",\n";
+  out += "    \"flow_lookups\": " + std::to_string(report.cache.flow_lookups) + ",\n";
+  out += "    \"unique_functions\": " +
+         std::to_string(report.cache.unique_functions);
+  if (include_volatile) {
+    out += ",\n";
+    out += "    \"hits\": " + std::to_string(report.cache.hits) + ",\n";
+    out += "    \"misses\": " + std::to_string(report.cache.misses) + ",\n";
+    out += "    \"races_lost\": " + std::to_string(report.cache.races_lost) + ",\n";
+    out += "    \"hit_rate\": " + format_double(report.cache.hit_rate()) + "\n";
+  } else {
+    out += "\n";
+  }
+  out += "  },\n";
+  out += "  \"jobs\": [\n";
+  for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+    const JobReport& job = report.jobs[i];
+    out += "    {\n";
+    out += "      \"circuit\": ";
+    append_escaped(out, job.circuit);
+    out += ",\n      \"system\": ";
+    append_escaped(out, job.system);
+    out += ",\n      \"k\": " + std::to_string(job.k);
+    out += ",\n      \"seed\": " + std::to_string(job.seed);
+    out += ",\n      \"luts\": " + std::to_string(job.luts);
+    out += ",\n      \"clbs\": " + std::to_string(job.clbs);
+    out += ",\n      \"depth\": " + std::to_string(job.depth);
+    out += std::string(",\n      \"verified\": ") +
+           (job.verified ? "true" : "false");
+    out += ",\n      \"error\": ";
+    append_escaped(out, job.error);
+    out += ",\n      \"stats\": {";
+    out += "\"decomposition_steps\": " +
+           std::to_string(job.stats.decomposition_steps);
+    out += ", \"shannon_fallbacks\": " +
+           std::to_string(job.stats.shannon_fallbacks);
+    out += ", \"hyper_groups\": " + std::to_string(job.stats.hyper_groups);
+    out += ", \"encoder_runs\": " + std::to_string(job.stats.encoder_runs);
+    out += ", \"encoder_random_kept\": " +
+           std::to_string(job.stats.encoder_random_kept);
+    out += std::string(", \"collapse_mode\": ") +
+           (job.stats.collapse_mode ? "true" : "false");
+    out += ", \"cache_lookups\": " + std::to_string(job.stats.cache_lookups);
+    out += "}";
+    if (include_volatile) {
+      out += ",\n      \"seconds\": " + format_double(job.seconds);
+    }
+    out += "\n    }";
+    out += i + 1 < report.jobs.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string to_csv(const RunReport& report) {
+  std::string out =
+      "circuit,system,k,seed,luts,clbs,depth,verified,error,"
+      "decomposition_steps,shannon_fallbacks,hyper_groups,encoder_runs,"
+      "encoder_random_kept,collapse_mode,cache_lookups,seconds\n";
+  for (const JobReport& job : report.jobs) {
+    out += job.circuit + "," + job.system + "," + std::to_string(job.k) + "," +
+           std::to_string(job.seed) + "," + std::to_string(job.luts) + "," +
+           std::to_string(job.clbs) + "," + std::to_string(job.depth) + "," +
+           (job.verified ? "1" : "0") + "," + job.error + "," +
+           std::to_string(job.stats.decomposition_steps) + "," +
+           std::to_string(job.stats.shannon_fallbacks) + "," +
+           std::to_string(job.stats.hyper_groups) + "," +
+           std::to_string(job.stats.encoder_runs) + "," +
+           std::to_string(job.stats.encoder_random_kept) + "," +
+           (job.stats.collapse_mode ? "1" : "0") + "," +
+           std::to_string(job.stats.cache_lookups) + "," +
+           format_double(job.seconds) + "\n";
+  }
+  return out;
+}
+
+}  // namespace hyde::runtime

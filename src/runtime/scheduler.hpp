@@ -1,0 +1,55 @@
+/// \file scheduler.hpp
+/// \brief Fixed thread pool executing whole-flow synthesis jobs.
+///
+/// The pool is deliberately simple: a FIFO queue, N worker threads, and a
+/// wait-for-idle barrier. Everything a job touches is job-private (each
+/// `core::run_flow` invocation constructs its own `bdd::Manager` on the
+/// worker thread that runs it — the single-threaded BDD package is never
+/// shared); the only shared mutable state in a batch is the NPN result cache,
+/// which synchronizes internally. Tasks must not throw: the batch layer
+/// catches job exceptions and records them in the job's report. As a
+/// backstop, an escaping exception terminates the task but not the worker.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hyde::runtime {
+
+class JobScheduler {
+ public:
+  /// Spawns \p num_workers threads (clamped to at least 1).
+  explicit JobScheduler(int num_workers);
+  /// Waits for queued work, then joins all workers.
+  ~JobScheduler();
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task; runs on some worker in FIFO dispatch order.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace hyde::runtime

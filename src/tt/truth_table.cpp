@@ -184,6 +184,28 @@ TruthTable TruthTable::permute(const std::vector<int>& perm) const {
   return r;
 }
 
+TruthTable TruthTable::flip_var(int v) const {
+  if (v < 0 || v >= num_vars_) {
+    throw std::invalid_argument("TruthTable::flip_var: variable out of range");
+  }
+  TruthTable r(*this);
+  if (v < 6) {
+    const std::uint64_t hi = kVarMask[v];
+    const int shift = 1 << v;
+    for (auto& w : r.words_) {
+      w = ((w & hi) >> shift) | ((w & ~hi) << shift);
+    }
+  } else {
+    const std::size_t block = std::size_t{1} << (v - 6);
+    for (std::size_t i = 0; i < r.words_.size(); i += 2 * block) {
+      for (std::size_t j = 0; j < block; ++j) {
+        std::swap(r.words_[i + j], r.words_[i + block + j]);
+      }
+    }
+  }
+  return r;
+}
+
 TruthTable TruthTable::project(const std::vector<int>& vars) const {
   TruthTable r(static_cast<int>(vars.size()));
   for (std::uint64_t m = 0; m < r.size(); ++m) {

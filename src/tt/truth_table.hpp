@@ -86,6 +86,10 @@ class TruthTable {
   /// \p perm[i]; \p perm must be a permutation of [0, num_vars).
   TruthTable permute(const std::vector<int>& perm) const;
 
+  /// Substitutes !x_{var} for x_{var}: bit m of the result is bit
+  /// m ^ (1 << var) of this table (swaps the two cofactor halves).
+  TruthTable flip_var(int var) const;
+
   /// Projects onto the given variables: the result has vars.size() variables,
   /// where new variable i is old variable vars[i]. The function must not
   /// depend on any variable outside \p vars.
@@ -112,6 +116,9 @@ class TruthTable {
 
   /// 64-bit content hash (FNV-1a over words and the variable count).
   std::uint64_t hash() const;
+
+  /// Raw 64-bit words of the function table, minterm 0 in bit 0 of word 0.
+  const std::vector<std::uint64_t>& words() const { return words_; }
 
  private:
   void check_same_shape(const TruthTable& rhs) const;

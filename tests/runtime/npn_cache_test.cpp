@@ -1,0 +1,121 @@
+/// Tests for the sharded NPN result cache (src/runtime/npn_cache) and its
+/// integration with the synthesis flow.
+///
+/// The critical property is the determinism contract of
+/// core/decomp_cache.hpp: a flow's result must not depend on what the cache
+/// already contains (cold vs warm), because in a parallel batch the warm-up
+/// order is scheduling-dependent.
+
+#include "runtime/npn_cache.hpp"
+
+#include <cstdint>
+
+#include "baseline/flows.hpp"
+#include "gtest/gtest.h"
+#include "mcnc/benchmarks.hpp"
+#include "tt/npn.hpp"
+
+namespace hyde::runtime {
+namespace {
+
+core::NpnCacheKey key_for(const tt::TruthTable& f, std::uint64_t fingerprint) {
+  const tt::NpnCanonization canon = tt::npn_canonize(f);
+  return core::NpnCacheKey{canon.canonical.on, canon.canonical.dc, fingerprint};
+}
+
+core::CachedDecomposition and_template() {
+  core::CachedDecomposition value;
+  value.num_inputs = 2;
+  value.nodes.push_back(core::TemplateNode{
+      {0, 1}, tt::TruthTable::from_bits("1000")});
+  value.root = 2;
+  return value;
+}
+
+TEST(NpnResultCacheTest, LookupInsertAndCounters) {
+  NpnResultCache cache;
+  const tt::TruthTable a = tt::TruthTable::var(2, 0);
+  const tt::TruthTable b = tt::TruthTable::var(2, 1);
+  const core::NpnCacheKey key = key_for(a & b, 42);
+
+  EXPECT_EQ(cache.lookup(key), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+
+  const auto inserted = cache.insert(key, and_template());
+  ASSERT_NE(inserted, nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+
+  const auto found = cache.lookup(key);
+  EXPECT_EQ(found, inserted);
+
+  // NPN-equivalent function, same fingerprint -> same entry.
+  EXPECT_EQ(cache.lookup(key_for(a | b, 42)), inserted);
+  // Same function, different options fingerprint -> distinct key.
+  EXPECT_EQ(cache.lookup(key_for(a & b, 43)), nullptr);
+
+  const NpnCacheCounters counters = cache.counters();
+  EXPECT_EQ(counters.hits, 2u);
+  EXPECT_EQ(counters.misses, 2u);
+  EXPECT_EQ(counters.races_lost, 0u);
+}
+
+TEST(NpnResultCacheTest, RacingInsertKeepsFirstEntry) {
+  NpnResultCache cache;
+  const core::NpnCacheKey key =
+      key_for(tt::TruthTable::var(3, 0) ^ tt::TruthTable::var(3, 2), 7);
+  const auto first = cache.insert(key, and_template());
+  // Per the determinism contract a racing insert carries a bit-identical
+  // value; the cache must keep the first entry and report the lost race.
+  const auto second = cache.insert(key, and_template());
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.counters().races_lost, 1u);
+}
+
+TEST(NpnResultCacheTest, FlowWithCacheVerifiesAndConsultsCache) {
+  NpnResultCache cache;
+  const net::Network input = mcnc::make_circuit("rd73");
+  const baseline::BaselineResult result = baseline::run_system(
+      input, baseline::System::kHyde, 5, /*verify_vectors=*/128, /*seed=*/1,
+      &cache);
+  EXPECT_TRUE(result.verified);
+  EXPECT_GT(result.stats.cache_lookups, 0);
+  EXPECT_GT(cache.size(), 0u);
+  EXPECT_GT(cache.counters().misses, 0u);
+}
+
+TEST(NpnResultCacheTest, ColdAndWarmCacheProduceIdenticalResults) {
+  const net::Network input = mcnc::make_circuit("5xp1");
+
+  NpnResultCache cold;
+  const baseline::BaselineResult first = baseline::run_system(
+      input, baseline::System::kHyde, 5, 128, 1, &cold);
+
+  // Warm the second cache with a different circuit first, then run the same
+  // job: the pre-existing entries must not change the outcome.
+  NpnResultCache warm;
+  const net::Network other = mcnc::make_circuit("rd73");
+  (void)baseline::run_system(other, baseline::System::kHyde, 5, 0, 1, &warm);
+  const std::uint64_t pre_warmed = warm.size();
+  EXPECT_GT(pre_warmed, 0u);
+  const baseline::BaselineResult second = baseline::run_system(
+      input, baseline::System::kHyde, 5, 128, 1, &warm);
+
+  EXPECT_EQ(first.luts, second.luts);
+  EXPECT_EQ(first.clbs, second.clbs);
+  EXPECT_EQ(first.depth, second.depth);
+  EXPECT_EQ(first.stats.cache_lookups, second.stats.cache_lookups);
+  EXPECT_EQ(first.stats.decomposition_steps, second.stats.decomposition_steps);
+  EXPECT_TRUE(first.verified);
+  EXPECT_TRUE(second.verified);
+
+  // Re-running the identical job on the already-warm cache hits.
+  const NpnCacheCounters before = warm.counters();
+  const baseline::BaselineResult third = baseline::run_system(
+      input, baseline::System::kHyde, 5, 0, 1, &warm);
+  EXPECT_EQ(third.luts, first.luts);
+  EXPECT_GT(warm.counters().hits, before.hits);
+}
+
+}  // namespace
+}  // namespace hyde::runtime

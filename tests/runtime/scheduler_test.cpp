@@ -1,0 +1,109 @@
+/// Tests for the job scheduler and the scheduling-independence of batch runs.
+///
+/// The headline acceptance property of the runtime: a batch executed on one
+/// worker and the same batch on several workers produce bit-identical
+/// deterministic reports (`to_json(report, /*include_volatile=*/false)`) —
+/// results depend on the job list and seeds, never on scheduling.
+
+#include "runtime/scheduler.hpp"
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "runtime/batch.hpp"
+#include "runtime/report.hpp"
+
+namespace hyde::runtime {
+namespace {
+
+TEST(JobSchedulerTest, RunsEverySubmittedTask) {
+  std::atomic<int> counter{0};
+  JobScheduler pool(4);
+  EXPECT_EQ(pool.num_workers(), 4);
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 200);
+
+  // The pool stays usable after an idle barrier.
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 201);
+}
+
+TEST(JobSchedulerTest, WorkerCountClampedToAtLeastOne) {
+  JobScheduler pool(0);
+  EXPECT_EQ(pool.num_workers(), 1);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(JobSchedulerTest, WaitIdleOnEmptyPoolReturns) {
+  JobScheduler pool(2);
+  pool.wait_idle();
+}
+
+TEST(JobSchedulerTest, DestructorDrainsQueuedWork) {
+  std::atomic<int> counter{0};
+  {
+    JobScheduler pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(BatchDeterminismTest, OneWorkerAndFourWorkersAgreeBitForBit) {
+  const std::vector<std::string> circuits = {"rd73", "z4ml", "misex1", "f51m"};
+  const std::vector<baseline::System> systems = {
+      baseline::System::kHyde, baseline::System::kImodecLike};
+  const std::vector<BatchJob> jobs = suite_jobs(circuits, systems, 5, 1);
+  ASSERT_EQ(jobs.size(), circuits.size() * systems.size());
+
+  BatchOptions serial;
+  serial.workers = 1;
+  BatchOptions parallel = serial;
+  parallel.workers = 4;
+
+  const RunReport a = run_batch(jobs, serial);
+  const RunReport b = run_batch(jobs, parallel);
+  EXPECT_TRUE(a.all_ok());
+  EXPECT_TRUE(b.all_ok());
+  EXPECT_GT(a.cache.flow_lookups, 0u);
+
+  // The deterministic JSON subset (results, stats, seeds, cache closure) is
+  // bit-identical; only wall-clock/worker/observed-traffic fields may differ.
+  EXPECT_EQ(to_json(a, /*include_volatile=*/false),
+            to_json(b, /*include_volatile=*/false));
+}
+
+TEST(BatchDeterminismTest, CacheOffStillDeterministicAndErrorsAreCaptured) {
+  std::vector<BatchJob> jobs = suite_jobs({"rd73"}, {baseline::System::kHyde},
+                                          5, 1);
+  jobs.push_back(BatchJob{"no_such_circuit", baseline::System::kHyde, 5, 1});
+
+  BatchOptions options;
+  options.workers = 2;
+  options.use_cache = false;
+  const RunReport report = run_batch(jobs, options);
+  ASSERT_EQ(report.jobs.size(), 2u);
+  EXPECT_TRUE(report.jobs[0].error.empty());
+  EXPECT_TRUE(report.jobs[0].verified);
+  EXPECT_FALSE(report.jobs[1].error.empty());
+  EXPECT_FALSE(report.all_ok());
+  EXPECT_EQ(report.cache.unique_functions, 0u);
+
+  const std::string json = to_json(report, /*include_volatile=*/false);
+  EXPECT_NE(json.find("no_such_circuit"), std::string::npos);
+  const std::string csv = to_csv(report);
+  EXPECT_NE(csv.find("rd73"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hyde::runtime
