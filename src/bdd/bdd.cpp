@@ -14,6 +14,34 @@ constexpr std::uint32_t kZero = 0;
 constexpr std::uint32_t kOne = 1;
 constexpr std::uint32_t kNil = 0xFFFFFFFFu;
 
+// Operation tags for the unified computed table. Tags start at 1: key word
+// `a` packs the tag above the first operand, so a == 0 marks an empty slot.
+enum : std::uint64_t {
+  kOpIte = 1,
+  kOpAnd,
+  kOpOr,
+  kOpXor,
+  kOpNot,
+  kOpCofactor,
+  kOpExists,
+  kOpForall,
+  kOpCompose,
+  kOpDisjoint,
+};
+
+constexpr std::uint64_t op_key(std::uint64_t tag, std::uint32_t operand) {
+  return (tag << 32) | operand;
+}
+
+std::size_t cache_hash(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t h = a * 0x9E3779B97F4A7C15ull ^ (b + 0x517CC1B727220A95ull);
+  h ^= h >> 31;
+  return static_cast<std::size_t>(h);
+}
+
+constexpr std::size_t kCacheInitialEntries = std::size_t{1} << 12;
+constexpr std::size_t kCacheMinEntries = std::size_t{1} << 10;
+
 std::size_t triple_hash(std::int32_t var, std::uint32_t lo, std::uint32_t hi) {
   std::uint64_t h = static_cast<std::uint32_t>(var);
   h = h * 0x9E3779B97F4A7C15ull + lo;
@@ -167,6 +195,7 @@ std::uint32_t Manager::make_node(std::int32_t var, std::uint32_t lo,
   }
   unique_insert(id);
   const std::size_t live = nodes_.size() - free_list_.size();
+  peak_live_nodes_ = std::max(peak_live_nodes_, live);
   if (live * 2 > unique_buckets_.size()) {
     rehash_unique(unique_buckets_.size() * 2);
   }
@@ -197,7 +226,11 @@ void Manager::collect_garbage() {
       free_list_.push_back(id);
     }
   }
-  ite_cache_.clear();
+  // Freed ids may be recycled from here on, so every cached result and every
+  // registered compose context is potentially stale: invalidate them all.
+  cache_clear();
+  compose_maps_.clear();
+  compose_fingerprints_.clear();
   rehash_unique(unique_buckets_.size());
 }
 
@@ -218,6 +251,79 @@ std::size_t Manager::live_node_count() const {
 }
 
 // ---------------------------------------------------------------------------
+// Unified computed table
+// ---------------------------------------------------------------------------
+
+bool Manager::cache_lookup(std::uint64_t a, std::uint64_t b,
+                           std::uint32_t* result) {
+  if (cache_.empty()) {
+    ++cache_misses_;
+    return false;
+  }
+  const CacheEntry& entry = cache_[cache_hash(a, b) & (cache_.size() - 1)];
+  if (entry.a == a && entry.b == b) {
+    ++cache_hits_;
+    *result = entry.result;
+    return true;
+  }
+  ++cache_misses_;
+  return false;
+}
+
+void Manager::cache_insert(std::uint64_t a, std::uint64_t b,
+                           std::uint32_t result) {
+  if (cache_.empty()) {
+    cache_.assign(std::min(kCacheInitialEntries, cache_max_entries_),
+                  CacheEntry{});
+  } else if (++inserts_since_grow_ > cache_.size() * 2 &&
+             cache_.size() < cache_max_entries_) {
+    // Sustained insert pressure: the working set outgrew the table. Doubling
+    // drops the current contents (the table is lossy anyway) but halves the
+    // future collision rate.
+    cache_.assign(cache_.size() * 2, CacheEntry{});
+    inserts_since_grow_ = 0;
+  }
+  CacheEntry& entry = cache_[cache_hash(a, b) & (cache_.size() - 1)];
+  if (entry.a != 0 && (entry.a != a || entry.b != b)) ++cache_overwrites_;
+  entry.a = a;
+  entry.b = b;
+  entry.result = result;
+  ++cache_inserts_;
+}
+
+void Manager::cache_clear() {
+  std::fill(cache_.begin(), cache_.end(), CacheEntry{});
+  inserts_since_grow_ = 0;
+}
+
+void Manager::set_cache_limit(std::size_t max_entries) {
+  max_entries = std::max(max_entries, kCacheMinEntries);
+  cache_max_entries_ = std::bit_floor(max_entries);
+  if (cache_.size() > cache_max_entries_) {
+    cache_.assign(cache_max_entries_, CacheEntry{});
+    inserts_since_grow_ = 0;
+  }
+}
+
+ManagerStats Manager::stats() const {
+  ManagerStats s;
+  s.cache_hits = cache_hits_;
+  s.cache_misses = cache_misses_;
+  s.cache_inserts = cache_inserts_;
+  s.cache_overwrites = cache_overwrites_;
+  s.cache_capacity = cache_.size();
+  for (const CacheEntry& entry : cache_) {
+    if (entry.a != 0) ++s.cache_occupied;
+  }
+  s.live_nodes = nodes_.size() - free_list_.size();
+  s.store_nodes = nodes_.size();
+  s.peak_live_nodes = peak_live_nodes_;
+  s.unique_buckets = unique_buckets_.size();
+  s.gc_runs = gc_runs_;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
 // Core operations
 // ---------------------------------------------------------------------------
 
@@ -235,19 +341,106 @@ Bdd Manager::nvar(int index) {
   return make_external(make_node(index, kOne, kZero));
 }
 
+std::uint32_t Manager::not_rec(std::uint32_t f) {
+  if (f <= kOne) return f ^ 1u;
+  const std::uint64_t a = op_key(kOpNot, f);
+  std::uint32_t result;
+  if (cache_lookup(a, 0, &result)) return result;
+  // Copy fields: make_node below can reallocate the node store.
+  const std::int32_t n_var = nodes_[f].var;
+  const std::uint32_t n_lo = nodes_[f].lo;
+  const std::uint32_t n_hi = nodes_[f].hi;
+  result = make_node(n_var, not_rec(n_lo), not_rec(n_hi));
+  cache_insert(a, 0, result);
+  // NOT is an involution: record the reverse direction for free.
+  cache_insert(op_key(kOpNot, result), 0, f);
+  return result;
+}
+
+std::uint32_t Manager::and_rec(std::uint32_t f, std::uint32_t g) {
+  if (f == kZero || g == kZero) return kZero;
+  if (f == kOne) return g;
+  if (g == kOne) return f;
+  if (f == g) return f;
+  if (f > g) std::swap(f, g);  // commutative: normalize operand order
+  const std::uint64_t a = op_key(kOpAnd, f);
+  std::uint32_t result;
+  if (cache_lookup(a, g, &result)) return result;
+  const std::int32_t fv = nodes_[f].var;
+  const std::int32_t gv = nodes_[g].var;
+  const std::int32_t top = std::min(fv, gv);
+  const std::uint32_t f0 = fv == top ? nodes_[f].lo : f;
+  const std::uint32_t f1 = fv == top ? nodes_[f].hi : f;
+  const std::uint32_t g0 = gv == top ? nodes_[g].lo : g;
+  const std::uint32_t g1 = gv == top ? nodes_[g].hi : g;
+  result = make_node(top, and_rec(f0, g0), and_rec(f1, g1));
+  cache_insert(a, g, result);
+  return result;
+}
+
+std::uint32_t Manager::or_rec(std::uint32_t f, std::uint32_t g) {
+  if (f == kOne || g == kOne) return kOne;
+  if (f == kZero) return g;
+  if (g == kZero) return f;
+  if (f == g) return f;
+  if (f > g) std::swap(f, g);
+  const std::uint64_t a = op_key(kOpOr, f);
+  std::uint32_t result;
+  if (cache_lookup(a, g, &result)) return result;
+  const std::int32_t fv = nodes_[f].var;
+  const std::int32_t gv = nodes_[g].var;
+  const std::int32_t top = std::min(fv, gv);
+  const std::uint32_t f0 = fv == top ? nodes_[f].lo : f;
+  const std::uint32_t f1 = fv == top ? nodes_[f].hi : f;
+  const std::uint32_t g0 = gv == top ? nodes_[g].lo : g;
+  const std::uint32_t g1 = gv == top ? nodes_[g].hi : g;
+  result = make_node(top, or_rec(f0, g0), or_rec(f1, g1));
+  cache_insert(a, g, result);
+  return result;
+}
+
+std::uint32_t Manager::xor_rec(std::uint32_t f, std::uint32_t g) {
+  if (f == g) return kZero;
+  if (f == kZero) return g;
+  if (g == kZero) return f;
+  if (f == kOne) return not_rec(g);
+  if (g == kOne) return not_rec(f);
+  if (f > g) std::swap(f, g);
+  const std::uint64_t a = op_key(kOpXor, f);
+  std::uint32_t result;
+  if (cache_lookup(a, g, &result)) return result;
+  const std::int32_t fv = nodes_[f].var;
+  const std::int32_t gv = nodes_[g].var;
+  const std::int32_t top = std::min(fv, gv);
+  const std::uint32_t f0 = fv == top ? nodes_[f].lo : f;
+  const std::uint32_t f1 = fv == top ? nodes_[f].hi : f;
+  const std::uint32_t g0 = gv == top ? nodes_[g].lo : g;
+  const std::uint32_t g1 = gv == top ? nodes_[g].hi : g;
+  result = make_node(top, xor_rec(f0, g0), xor_rec(f1, g1));
+  cache_insert(a, g, result);
+  return result;
+}
+
 std::uint32_t Manager::ite_rec(std::uint32_t f, std::uint32_t g,
                                std::uint32_t h) {
-  // Terminal cases.
+  // Terminal cases, then degenerate forms routed to the dedicated kernels so
+  // e.g. ite(f, g, 0) and f & g share one computed-table entry.
   if (f == kOne) return g;
   if (f == kZero) return h;
   if (g == h) return g;
   if (g == kOne && h == kZero) return f;
+  if (g == kZero && h == kOne) return not_rec(f);
+  if (g == kOne) return or_rec(f, h);
+  if (h == kZero) return and_rec(f, g);
+  if (g == kZero) return and_rec(not_rec(f), h);
+  if (h == kOne) return or_rec(not_rec(f), g);
+  if (f == g) return or_rec(f, h);
+  if (f == h) return and_rec(f, g);
 
-  const CacheKey key{(static_cast<std::uint64_t>(f) << 32) | g,
-                     static_cast<std::uint64_t>(h)};
-  if (auto it = ite_cache_.find(key); it != ite_cache_.end()) {
-    return it->second;
-  }
+  const std::uint64_t a = op_key(kOpIte, f);
+  const std::uint64_t b = (static_cast<std::uint64_t>(g) << 32) | h;
+  std::uint32_t result;
+  if (cache_lookup(a, b, &result)) return result;
 
   auto var_of = [this](std::uint32_t id) {
     return id <= kOne ? INT32_MAX : nodes_[id].var;
@@ -259,8 +452,8 @@ std::uint32_t Manager::ite_rec(std::uint32_t f, std::uint32_t g,
   };
   const std::uint32_t lo = ite_rec(cof(f, false), cof(g, false), cof(h, false));
   const std::uint32_t hi = ite_rec(cof(f, true), cof(g, true), cof(h, true));
-  const std::uint32_t result = make_node(top, lo, hi);
-  ite_cache_.emplace(key, result);
+  result = make_node(top, lo, hi);
+  cache_insert(a, b, result);
   return result;
 }
 
@@ -278,20 +471,41 @@ Bdd Manager::ite(const Bdd& f, const Bdd& g, const Bdd& h) {
   return make_external(ite_rec(f.id_, g.id_, h.id_));
 }
 
-Bdd Manager::bdd_xor(const Bdd& f, const Bdd& g) {
-  return ite(f, bdd_not(g), g);
+Bdd Manager::bdd_and(const Bdd& f, const Bdd& g) {
+  check_owned(f);
+  check_owned(g);
+  maybe_gc();
+  return make_external(and_rec(f.id_, g.id_));
 }
 
-bool Manager::disjoint_rec(std::uint32_t f, std::uint32_t g,
-                           std::unordered_map<std::uint64_t, bool>& memo) {
+Bdd Manager::bdd_or(const Bdd& f, const Bdd& g) {
+  check_owned(f);
+  check_owned(g);
+  maybe_gc();
+  return make_external(or_rec(f.id_, g.id_));
+}
+
+Bdd Manager::bdd_xor(const Bdd& f, const Bdd& g) {
+  check_owned(f);
+  check_owned(g);
+  maybe_gc();
+  return make_external(xor_rec(f.id_, g.id_));
+}
+
+Bdd Manager::bdd_not(const Bdd& f) {
+  check_owned(f);
+  maybe_gc();
+  return make_external(not_rec(f.id_));
+}
+
+bool Manager::disjoint_rec(std::uint32_t f, std::uint32_t g) {
   if (f == kZero || g == kZero) return true;
-  if (f == kOne && g == kOne) return false;
-  if (f == kOne) return g == kZero;
-  if (g == kOne) return f == kZero;
+  if (f == kOne || g == kOne) return false;  // the other side is nonzero here
   if (f == g) return false;  // nonconstant node has a satisfying assignment
-  const std::uint64_t key = (static_cast<std::uint64_t>(std::min(f, g)) << 32) |
-                            std::max(f, g);
-  if (auto it = memo.find(key); it != memo.end()) return it->second;
+  if (f > g) std::swap(f, g);
+  const std::uint64_t a = op_key(kOpDisjoint, f);
+  std::uint32_t cached;
+  if (cache_lookup(a, g, &cached)) return cached != 0;
   const std::int32_t fv = nodes_[f].var;
   const std::int32_t gv = nodes_[g].var;
   const std::int32_t top = std::min(fv, gv);
@@ -299,21 +513,18 @@ bool Manager::disjoint_rec(std::uint32_t f, std::uint32_t g,
   const std::uint32_t f1 = fv == top ? nodes_[f].hi : f;
   const std::uint32_t g0 = gv == top ? nodes_[g].lo : g;
   const std::uint32_t g1 = gv == top ? nodes_[g].hi : g;
-  const bool result = disjoint_rec(f0, g0, memo) && disjoint_rec(f1, g1, memo);
-  memo.emplace(key, result);
+  const bool result = disjoint_rec(f0, g0) && disjoint_rec(f1, g1);
+  cache_insert(a, g, result ? 1u : 0u);
   return result;
 }
 
 bool Manager::disjoint(const Bdd& f, const Bdd& g) {
   check_owned(f);
   check_owned(g);
-  std::unordered_map<std::uint64_t, bool> memo;
-  return disjoint_rec(f.id_, g.id_, memo);
+  return disjoint_rec(f.id_, g.id_);
 }
 
-std::uint32_t Manager::cofactor_rec(
-    std::uint32_t f, int var, bool value,
-    std::unordered_map<std::uint32_t, std::uint32_t>& memo) {
+std::uint32_t Manager::cofactor_rec(std::uint32_t f, int var, bool value) {
   if (f <= kOne) return f;
   // Copy fields: make_node below can reallocate the node store.
   const std::int32_t n_var = nodes_[f].var;
@@ -321,19 +532,23 @@ std::uint32_t Manager::cofactor_rec(
   const std::uint32_t n_hi = nodes_[f].hi;
   if (n_var > var) return f;
   if (n_var == var) return value ? n_hi : n_lo;
-  if (auto it = memo.find(f); it != memo.end()) return it->second;
-  const std::uint32_t lo = cofactor_rec(n_lo, var, value, memo);
-  const std::uint32_t hi = cofactor_rec(n_hi, var, value, memo);
-  const std::uint32_t result = make_node(n_var, lo, hi);
-  memo.emplace(f, result);
+  const std::uint64_t a = op_key(kOpCofactor, f);
+  const std::uint64_t b =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(var)) << 1) |
+      (value ? 1u : 0u);
+  std::uint32_t result;
+  if (cache_lookup(a, b, &result)) return result;
+  const std::uint32_t lo = cofactor_rec(n_lo, var, value);
+  const std::uint32_t hi = cofactor_rec(n_hi, var, value);
+  result = make_node(n_var, lo, hi);
+  cache_insert(a, b, result);
   return result;
 }
 
 Bdd Manager::cofactor(const Bdd& f, int var, bool value) {
   check_owned(f);
   maybe_gc();
-  std::unordered_map<std::uint32_t, std::uint32_t> memo;
-  return make_external(cofactor_rec(f.id_, var, value, memo));
+  return make_external(cofactor_rec(f.id_, var, value));
 }
 
 Bdd Manager::cofactor_cube(const Bdd& f,
@@ -345,64 +560,112 @@ Bdd Manager::cofactor_cube(const Bdd& f,
   return result;
 }
 
-std::uint32_t Manager::quantify_rec(
-    std::uint32_t f, const std::vector<char>& mask, bool existential,
-    std::unordered_map<std::uint32_t, std::uint32_t>& memo) {
+std::uint32_t Manager::build_cube(const std::vector<int>& vars) {
+  std::vector<int> sorted = vars;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  std::uint32_t cube = kOne;
+  for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
+    cube = make_node(*it, kZero, cube);
+  }
+  return cube;
+}
+
+std::uint32_t Manager::quantify_rec(std::uint32_t f, std::uint32_t cube,
+                                    bool existential) {
   if (f <= kOne) return f;
-  // Copy fields: make_node/ite_rec below can reallocate the node store.
-  const std::int32_t n_var = nodes_[f].var;
+  const std::int32_t fv = nodes_[f].var;
+  // Skip quantified variables above f's support: they cannot occur in f.
+  while (cube > kOne && nodes_[cube].var < fv) cube = nodes_[cube].hi;
+  if (cube <= kOne) return f;
+  const std::uint64_t a = op_key(existential ? kOpExists : kOpForall, f);
+  std::uint32_t result;
+  if (cache_lookup(a, cube, &result)) return result;
+  // Copy fields: make_node and the kernels below can reallocate the store.
   const std::uint32_t n_lo = nodes_[f].lo;
   const std::uint32_t n_hi = nodes_[f].hi;
-  if (auto it = memo.find(f); it != memo.end()) return it->second;
-  const std::uint32_t lo = quantify_rec(n_lo, mask, existential, memo);
-  const std::uint32_t hi = quantify_rec(n_hi, mask, existential, memo);
-  std::uint32_t result;
-  if (static_cast<std::size_t>(n_var) < mask.size() && mask[n_var]) {
-    result = existential ? ite_rec(lo, kOne, hi) : ite_rec(lo, hi, kZero);
-  } else {
-    result = make_node(n_var, lo, hi);
+  const std::int32_t cube_var = nodes_[cube].var;
+  const std::uint32_t sub_cube = nodes_[cube].hi;
+  if (fv == cube_var) {
+    const std::uint32_t lo = quantify_rec(n_lo, sub_cube, existential);
+    // Dominant short-circuits: x | 1 = 1, x & 0 = 0.
+    if (existential && lo == kOne) {
+      result = kOne;
+    } else if (!existential && lo == kZero) {
+      result = kZero;
+    } else {
+      const std::uint32_t hi = quantify_rec(n_hi, sub_cube, existential);
+      result = existential ? or_rec(lo, hi) : and_rec(lo, hi);
+    }
+  } else {  // fv < cube_var: keep the node, quantify below
+    const std::uint32_t lo = quantify_rec(n_lo, cube, existential);
+    const std::uint32_t hi = quantify_rec(n_hi, cube, existential);
+    result = make_node(fv, lo, hi);
   }
-  memo.emplace(f, result);
+  cache_insert(a, cube, result);
   return result;
 }
 
 Bdd Manager::exists(const Bdd& f, const std::vector<int>& vars) {
   check_owned(f);
   maybe_gc();
-  std::vector<char> mask(num_vars_, 0);
-  for (int v : vars) mask[v] = 1;
-  std::unordered_map<std::uint32_t, std::uint32_t> memo;
-  return make_external(quantify_rec(f.id_, mask, /*existential=*/true, memo));
+  const std::uint32_t cube = build_cube(vars);
+  return make_external(quantify_rec(f.id_, cube, /*existential=*/true));
 }
 
 Bdd Manager::forall(const Bdd& f, const std::vector<int>& vars) {
   check_owned(f);
   maybe_gc();
-  std::vector<char> mask(num_vars_, 0);
-  for (int v : vars) mask[v] = 1;
-  std::unordered_map<std::uint32_t, std::uint32_t> memo;
-  return make_external(quantify_rec(f.id_, mask, /*existential=*/false, memo));
+  const std::uint32_t cube = build_cube(vars);
+  return make_external(quantify_rec(f.id_, cube, /*existential=*/false));
 }
 
-std::uint32_t Manager::compose_rec(
-    std::uint32_t f, const std::vector<std::int64_t>& map,
-    std::unordered_map<std::uint32_t, std::uint32_t>& memo) {
+std::uint64_t Manager::compose_context(const std::vector<std::int64_t>& map) {
+  std::uint64_t fingerprint = 0xC0117E87ull;
+  for (std::size_t v = 0; v < map.size(); ++v) {
+    if (map[v] < 0) continue;
+    fingerprint ^= (static_cast<std::uint64_t>(v) << 32 |
+                    static_cast<std::uint64_t>(map[v])) *
+                   0x9E3779B97F4A7C15ull;
+    fingerprint *= 0xBF58476D1CE4E5B9ull;
+    fingerprint ^= fingerprint >> 29;
+  }
+  const auto it = compose_fingerprints_.find(fingerprint);
+  if (it != compose_fingerprints_.end() &&
+      compose_maps_[it->second] == map) {
+    return it->second + 1;
+  }
+  // New map this GC epoch (or a — vanishingly unlikely — fingerprint
+  // collision, which simply gets a fresh id and never aliases cached
+  // results of the old one).
+  compose_maps_.push_back(map);
+  const std::uint32_t id =
+      static_cast<std::uint32_t>(compose_maps_.size() - 1);
+  compose_fingerprints_[fingerprint] = id;
+  return id + 1;
+}
+
+std::uint32_t Manager::compose_rec(std::uint32_t f,
+                                   const std::vector<std::int64_t>& map,
+                                   std::uint64_t ctx) {
   if (f <= kOne) return f;
-  if (auto it = memo.find(f); it != memo.end()) return it->second;
+  const std::uint64_t a = op_key(kOpCompose, f);
+  std::uint32_t result;
+  if (cache_lookup(a, ctx, &result)) return result;
   // Copy fields: make_node/ite_rec below can reallocate the node store.
   const std::int32_t n_var = nodes_[f].var;
   const std::uint32_t n_lo = nodes_[f].lo;
   const std::uint32_t n_hi = nodes_[f].hi;
-  const std::uint32_t lo = compose_rec(n_lo, map, memo);
-  const std::uint32_t hi = compose_rec(n_hi, map, memo);
+  const std::uint32_t lo = compose_rec(n_lo, map, ctx);
+  const std::uint32_t hi = compose_rec(n_hi, map, ctx);
   std::uint32_t sub;
   if (static_cast<std::size_t>(n_var) < map.size() && map[n_var] >= 0) {
     sub = static_cast<std::uint32_t>(map[n_var]);
   } else {
     sub = make_node(n_var, kZero, kOne);
   }
-  const std::uint32_t result = ite_rec(sub, hi, lo);
-  memo.emplace(f, result);
+  result = ite_rec(sub, hi, lo);
+  cache_insert(a, ctx, result);
   return result;
 }
 
@@ -412,8 +675,7 @@ Bdd Manager::compose(const Bdd& f, int var, const Bdd& g) {
   maybe_gc();
   std::vector<std::int64_t> map(num_vars_, -1);
   map[var] = g.id_;
-  std::unordered_map<std::uint32_t, std::uint32_t> memo;
-  return make_external(compose_rec(f.id_, map, memo));
+  return make_external(compose_rec(f.id_, map, compose_context(map)));
 }
 
 Bdd Manager::vector_compose(
@@ -421,8 +683,7 @@ Bdd Manager::vector_compose(
   maybe_gc();
   std::vector<std::int64_t> raw(num_vars_, -1);
   for (const auto& [var, g] : map) raw[var] = g.id_;
-  std::unordered_map<std::uint32_t, std::uint32_t> memo;
-  return make_external(compose_rec(f.id_, raw, memo));
+  return make_external(compose_rec(f.id_, raw, compose_context(raw)));
 }
 
 Bdd Manager::permute(const Bdd& f, const std::vector<int>& perm) {
@@ -434,8 +695,7 @@ Bdd Manager::permute(const Bdd& f, const std::vector<int>& perm) {
       map[v] = make_node(perm[v], kZero, kOne);
     }
   }
-  std::unordered_map<std::uint32_t, std::uint32_t> memo;
-  return make_external(compose_rec(f.id_, map, memo));
+  return make_external(compose_rec(f.id_, map, compose_context(map)));
 }
 
 void Manager::support_rec(std::uint32_t f, std::vector<char>& seen,

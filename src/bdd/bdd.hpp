@@ -2,15 +2,19 @@
 /// \brief A from-scratch ROBDD package (the paper's CUDD/SIS substrate).
 ///
 /// Reduced Ordered Binary Decision Diagrams without complement edges, with a
-/// unique table (structural hashing), a computed table (operation cache),
-/// external reference counting through the RAII `Bdd` handle, and
-/// mark-and-sweep garbage collection.
+/// unique table (structural hashing), a single unified computed table shared
+/// by every operation (CUDD-style: fixed-size, open-addressed, lossy,
+/// allocation-free on the hot path), external reference counting through the
+/// RAII `Bdd` handle, and mark-and-sweep garbage collection.
 ///
 /// The variable order is the identity order over the manager's variable
 /// indices (variable 0 at the top). Everything the decomposition engine needs
-/// is provided: ITE/apply, cofactors, quantification, composition, variable
-/// permutation, support, satisfy-count, and conversion to/from
-/// `hyde::tt::TruthTable`.
+/// is provided: dedicated AND/OR/XOR/NOT kernels, ITE, cofactors,
+/// quantification, composition, variable permutation, support, satisfy-count,
+/// and conversion to/from `hyde::tt::TruthTable`.
+///
+/// See docs/BDD.md for the computed-table design (operation tags, lossy
+/// replacement, GC invalidation) and the tuning knobs.
 
 #pragma once
 
@@ -85,6 +89,38 @@ struct BddHash {
   }
 };
 
+/// Point-in-time snapshot of a manager's kernel counters (see
+/// Manager::stats()). Cache counters accumulate over the manager's lifetime;
+/// table *contents* are invalidated at every GC but the counters are not
+/// reset.
+struct ManagerStats {
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_inserts = 0;
+  /// Lossy replacements: an insert that evicted a live entry with a
+  /// different key (the price of the direct-mapped design).
+  std::uint64_t cache_overwrites = 0;
+  std::size_t cache_capacity = 0;  ///< current slot count (grows on demand)
+  std::size_t cache_occupied = 0;  ///< slots holding a valid entry
+  std::size_t live_nodes = 0;
+  std::size_t store_nodes = 0;     ///< allocated slots incl. dead ones
+  std::size_t peak_live_nodes = 0;
+  std::size_t unique_buckets = 0;
+  int gc_runs = 0;
+
+  double cache_hit_rate() const {
+    const std::uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cache_hits) /
+                            static_cast<double>(total);
+  }
+  double unique_load() const {
+    return unique_buckets == 0 ? 0.0
+                               : static_cast<double>(live_nodes) /
+                                     static_cast<double>(unique_buckets);
+  }
+};
+
 /// The BDD manager: owns the node store, unique table and computed table.
 ///
 /// Node 0 is the constant 0 and node 1 the constant 1. The manager supports a
@@ -109,11 +145,14 @@ class Manager {
   /// The complemented variable !x_{index}.
   Bdd nvar(int index);
 
-  Bdd bdd_and(const Bdd& f, const Bdd& g) { return ite(f, g, zero()); }
-  Bdd bdd_or(const Bdd& f, const Bdd& g) { return ite(f, one(), g); }
+  // Dedicated apply kernels (operands of commutative ops are normalized, so
+  // f&g and g&f share one computed-table entry).
+  Bdd bdd_and(const Bdd& f, const Bdd& g);
+  Bdd bdd_or(const Bdd& f, const Bdd& g);
   Bdd bdd_xor(const Bdd& f, const Bdd& g);
-  Bdd bdd_not(const Bdd& f) { return ite(f, zero(), one()); }
-  /// If-then-else: f ? g : h. The workhorse of the package.
+  Bdd bdd_not(const Bdd& f);
+  /// If-then-else: f ? g : h. Degenerate calls are routed to the dedicated
+  /// kernels above so they share cache entries with the operator forms.
   Bdd ite(const Bdd& f, const Bdd& g, const Bdd& h);
 
   /// True iff f & g == 0, computed without building the conjunction.
@@ -173,9 +212,18 @@ class Manager {
   std::string to_dot(const Bdd& f, const std::string& name = "bdd");
 
   /// Runs mark-and-sweep garbage collection; invalidates no live handles.
+  /// Clears the computed table (cached results may reference dead nodes).
   void collect_garbage();
   /// Number of GC runs so far (for stats/tests).
   int gc_runs() const { return gc_runs_; }
+
+  /// Snapshot of the kernel counters (computed table, node store, GC).
+  ManagerStats stats() const;
+
+  /// Caps the computed table's slot count (rounded down to a power of two,
+  /// min 1024). The table starts small and doubles under sustained insert
+  /// pressure up to this cap; shrinking below the current size clears it.
+  void set_cache_limit(std::size_t max_entries);
 
   /// Hard cap on live nodes (0 = unlimited). Exceeding it makes node
   /// creation throw std::length_error — used by callers that attempt a
@@ -196,29 +244,44 @@ class Manager {
     std::uint32_t ext_refs = 0;
   };
 
-  struct CacheKey {
-    std::uint64_t a, b;
-    bool operator==(const CacheKey&) const = default;
-  };
-  struct CacheKeyHash {
-    std::size_t operator()(const CacheKey& k) const {
-      std::uint64_t h = k.a * 0x9E3779B97F4A7C15ull ^ (k.b + 0x517CC1B727220A95ull);
-      h ^= h >> 31;
-      return static_cast<std::size_t>(h);
-    }
+  /// One slot of the unified computed table. `a` packs the operation tag in
+  /// its high half (tags start at 1, so a == 0 marks an empty slot); `b`
+  /// carries the remaining operands.
+  struct CacheEntry {
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::uint32_t result = 0;
   };
 
   std::uint32_t make_node(std::int32_t var, std::uint32_t lo, std::uint32_t hi);
+
+  // Unified computed table.
+  bool cache_lookup(std::uint64_t a, std::uint64_t b, std::uint32_t* result);
+  void cache_insert(std::uint64_t a, std::uint64_t b, std::uint32_t result);
+  void cache_clear();
+
+  // Recursive kernels (raw node ids; caller must pin operands via handles or
+  // the recursion itself — GC only runs at API entry points).
   std::uint32_t ite_rec(std::uint32_t f, std::uint32_t g, std::uint32_t h);
-  bool disjoint_rec(std::uint32_t f, std::uint32_t g,
-                    std::unordered_map<std::uint64_t, bool>& memo);
-  std::uint32_t cofactor_rec(std::uint32_t f, int var, bool value,
-                             std::unordered_map<std::uint32_t, std::uint32_t>& memo);
-  std::uint32_t quantify_rec(std::uint32_t f, const std::vector<char>& mask,
-                             bool existential,
-                             std::unordered_map<std::uint32_t, std::uint32_t>& memo);
+  std::uint32_t and_rec(std::uint32_t f, std::uint32_t g);
+  std::uint32_t or_rec(std::uint32_t f, std::uint32_t g);
+  std::uint32_t xor_rec(std::uint32_t f, std::uint32_t g);
+  std::uint32_t not_rec(std::uint32_t f);
+  bool disjoint_rec(std::uint32_t f, std::uint32_t g);
+  std::uint32_t cofactor_rec(std::uint32_t f, int var, bool value);
+  std::uint32_t quantify_rec(std::uint32_t f, std::uint32_t cube,
+                             bool existential);
   std::uint32_t compose_rec(std::uint32_t f, const std::vector<std::int64_t>& map,
-                            std::unordered_map<std::uint32_t, std::uint32_t>& memo);
+                            std::uint64_t ctx);
+
+  /// Positive cube over \p vars (duplicates ignored), bottom-up so each level
+  /// is a single make_node.
+  std::uint32_t build_cube(const std::vector<int>& vars);
+  /// Registers a substitution map for this GC epoch and returns a small id
+  /// that keys compose results in the computed table (identical maps share
+  /// an id, so repeated vector_compose calls hit the cache).
+  std::uint64_t compose_context(const std::vector<std::int64_t>& map);
+
   void support_rec(std::uint32_t f, std::vector<char>& seen,
                    std::vector<char>& visited);
   double sat_count_rec(std::uint32_t f,
@@ -236,10 +299,25 @@ class Manager {
   int num_vars_;
   std::vector<Node> nodes_;
   std::vector<std::uint32_t> unique_buckets_;
-  std::unordered_map<CacheKey, std::uint32_t, CacheKeyHash> ite_cache_;
+
+  // Computed table state (lazily allocated; grows by doubling under insert
+  // pressure up to cache_max_entries_).
+  std::vector<CacheEntry> cache_;
+  std::size_t cache_max_entries_ = std::size_t{1} << 20;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+  std::uint64_t cache_inserts_ = 0;
+  std::uint64_t cache_overwrites_ = 0;
+  std::uint64_t inserts_since_grow_ = 0;
+
+  // Compose-context registry for the current GC epoch.
+  std::vector<std::vector<std::int64_t>> compose_maps_;
+  std::unordered_map<std::uint64_t, std::uint32_t> compose_fingerprints_;
+
   std::size_t gc_threshold_ = 1u << 18;
   std::size_t node_limit_ = 0;
   int gc_runs_ = 0;
+  std::size_t peak_live_nodes_ = 2;
   std::vector<std::uint32_t> free_list_;
 };
 

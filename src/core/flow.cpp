@@ -253,6 +253,10 @@ class Decomposer {
     entry.stats.shannon_fallbacks = sub_stats.shannon_fallbacks;
     entry.stats.encoder_runs = sub_stats.encoder_runs;
     entry.stats.encoder_random_kept = sub_stats.encoder_random_kept;
+    // Kernel counters go straight to this flow's totals, not into the shared
+    // template: replaying a cached template costs no BDD work, so charging
+    // them per-hit would fabricate work that only the miss performed.
+    stats_.absorb_bdd_stats(tm.stats());
     return entry;
   }
 
@@ -530,6 +534,13 @@ FlowResult run_flow(const net::Network& input, const FlowOptions& options,
     next.stats.encoder_runs += result.stats.encoder_runs;
     next.stats.encoder_random_kept += result.stats.encoder_random_kept;
     next.stats.cache_lookups += result.stats.cache_lookups;
+    next.stats.bdd_cache_hits += result.stats.bdd_cache_hits;
+    next.stats.bdd_cache_misses += result.stats.bdd_cache_misses;
+    next.stats.bdd_cache_overwrites += result.stats.bdd_cache_overwrites;
+    next.stats.bdd_gc_runs += result.stats.bdd_gc_runs;
+    next.stats.bdd_peak_live_nodes =
+        std::max(next.stats.bdd_peak_live_nodes,
+                 result.stats.bdd_peak_live_nodes);
     result = std::move(next);
   }
   return result;
@@ -741,6 +752,7 @@ FlowResult run_flow_once(const net::Network& input, const FlowOptions& options,
 
   out.sweep();
   out.drop_unused_inputs(ppi_nodes);
+  stats.absorb_bdd_stats(gm.stats());
   return result;
 }
 }  // namespace

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "bdd/bdd.hpp"
 #include "core/decomp_cache.hpp"
 #include "core/encoder.hpp"
 #include "core/hyper.hpp"
@@ -83,6 +84,27 @@ struct FlowStats {
   /// NPN-cache consultations by this flow (schedule-independent; global
   /// hit/miss totals live on the cache itself, which is shared state).
   int cache_lookups = 0;
+
+  // BDD-kernel counters summed over every manager the flow created (the
+  // global manager plus one per NPN-cache template miss). Volatile in the
+  // sense of run reports: they vary with cache hit patterns and thread
+  // schedule, so they are only emitted in volatile report sections.
+  std::uint64_t bdd_cache_hits = 0;
+  std::uint64_t bdd_cache_misses = 0;
+  std::uint64_t bdd_cache_overwrites = 0;
+  std::uint64_t bdd_gc_runs = 0;
+  std::uint64_t bdd_peak_live_nodes = 0;  ///< max over managers, not a sum
+
+  /// Folds one manager's counters into the flow totals.
+  void absorb_bdd_stats(const bdd::ManagerStats& s) {
+    bdd_cache_hits += s.cache_hits;
+    bdd_cache_misses += s.cache_misses;
+    bdd_cache_overwrites += s.cache_overwrites;
+    bdd_gc_runs += static_cast<std::uint64_t>(s.gc_runs);
+    if (s.peak_live_nodes > bdd_peak_live_nodes) {
+      bdd_peak_live_nodes = s.peak_live_nodes;
+    }
+  }
 };
 
 struct FlowResult {

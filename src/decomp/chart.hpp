@@ -7,6 +7,15 @@
 /// f(x, ·) of the free variables. This module enumerates the distinct
 /// patterns (as ISF pairs of BDDs) together with, per pattern, the set of
 /// bound-set minterms mapping to it and its indicator function over X.
+///
+/// Enumeration uses the BDD-cut method of Jiang et al. [2]: f is transferred
+/// into a manager ordering the bound set on top, and the distinct (on, dc)
+/// node pairs hanging below the cut — one per column — are discovered in a
+/// single lock-step traversal costing O(nodes above the cut) instead of
+/// 2^|X| cofactor pairs. Column indicators fall out of the same pair graph
+/// by propagating bound-literal cubes top-down. The original
+/// recursive-cofactor walk is kept as a cross-checked reference
+/// (`enumerate_columns_recursive` / `count_columns_recursive`).
 
 #pragma once
 
@@ -32,6 +41,10 @@ struct DecompSpec {
   IsfBdd f;
   std::vector<int> bound;  ///< λ-set variable indices (chart columns)
   std::vector<int> free;   ///< μ-set variable indices (chart rows)
+  /// When false, enumerate_columns skips materializing per-column minterm
+  /// lists (the only part of chart construction that is inherently
+  /// Θ(2^|bound|)); patterns and indicators are still produced.
+  bool include_minterms = true;
 };
 
 /// One distinct chart column pattern.
@@ -41,7 +54,8 @@ struct Column {
   std::vector<std::uint64_t> minterms;  ///< bound minterms (bit i = bound[i])
 };
 
-/// Hard cap on the bound-set size: charts are enumerated exhaustively.
+/// Hard cap on the bound-set size: minterm lists index assignments to the
+/// bound set, so charts keep an exhaustively enumerable bound region.
 inline constexpr int kMaxBoundVars = 16;
 
 /// Enumerates the distinct column patterns of the chart. Deterministic:
@@ -49,16 +63,26 @@ inline constexpr int kMaxBoundVars = 16;
 /// Throws std::invalid_argument if |bound| exceeds kMaxBoundVars.
 std::vector<Column> enumerate_columns(const DecompSpec& spec);
 
+/// Reference implementation of enumerate_columns by recursive cofactoring
+/// (Θ(2^|bound|) cofactor pairs). Produces identical columns in identical
+/// order; kept for cross-checking the cut-based path.
+std::vector<Column> enumerate_columns_recursive(const DecompSpec& spec);
+
 /// Number of distinct column patterns, without materializing indicators.
 /// This is exactly the compatible-class count for completely specified
-/// functions and an upper bound for ISFs.
+/// functions and an upper bound for ISFs. Delegates to the cut-based path.
+/// Throws std::invalid_argument if |bound| exceeds kMaxBoundVars.
 int count_columns(const DecompSpec& spec);
+
+/// Reference implementation of count_columns by recursive cofactoring.
+int count_columns_recursive(const DecompSpec& spec);
 
 /// The BDD-cut method of Jiang et al. [2]: transfers f into a manager whose
 /// variable order puts the bound set on top and counts the distinct
 /// sub-functions hanging below the cut. Equal to count_columns for
 /// completely specified functions but costs O(|BDD|) instead of
-/// O(2^|bound|). ISFs count distinct (on, dc) pattern pairs.
+/// O(2^|bound|). ISFs count distinct (on, dc) pattern pairs. Unlike
+/// count_columns this places no limit on the bound-set size.
 int count_columns_via_cut(const DecompSpec& spec);
 
 /// Builds the BDD cube for an assignment to the given variables

@@ -33,7 +33,11 @@ IsfBdd merge_columns(bdd::Manager& mgr, const std::vector<Column>& columns,
 ClassResult compute_compatible_classes(const DecompSpec& spec, DcPolicy policy) {
   bdd::Manager& mgr = *spec.mgr;
   ClassResult result;
-  result.columns = enumerate_columns(spec);
+  // Class construction needs patterns and indicators but never the raw
+  // minterm lists — skip the only Θ(2^|bound|) part of chart building.
+  DecompSpec chart_spec = spec;
+  chart_spec.include_minterms = false;
+  result.columns = enumerate_columns(chart_spec);
   const int n = static_cast<int>(result.columns.size());
 
   std::vector<std::vector<int>> groups;

@@ -29,8 +29,8 @@ struct VarPartitionOptions {
   DcPolicy dc_policy = DcPolicy::kCliquePartition;
   /// Evaluate candidate bound sets with the O(|BDD|) cut method of [2]
   /// instead of 2^|bound| cofactor enumeration. Same counts, different cost
-  /// profile (wins when the bound set is large or the BDD small).
-  bool use_cut_method = false;
+  /// profile; on by default — disable to exercise the recursive reference.
+  bool use_cut_method = true;
 };
 
 struct VarPartitionResult {

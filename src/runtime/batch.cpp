@@ -78,6 +78,13 @@ RunReport run_batch(const std::vector<BatchJob>& jobs,
   for (const JobReport& job : report.jobs) {
     report.cache.flow_lookups +=
         static_cast<std::uint64_t>(job.stats.cache_lookups);
+    report.bdd.cache_hits += job.stats.bdd_cache_hits;
+    report.bdd.cache_misses += job.stats.bdd_cache_misses;
+    report.bdd.cache_overwrites += job.stats.bdd_cache_overwrites;
+    report.bdd.gc_runs += job.stats.bdd_gc_runs;
+    if (job.stats.bdd_peak_live_nodes > report.bdd.peak_live_nodes) {
+      report.bdd.peak_live_nodes = job.stats.bdd_peak_live_nodes;
+    }
   }
   report.cache.unique_functions = cache.size();
   const NpnCacheCounters counters = cache.counters();

@@ -51,6 +51,16 @@ std::string to_json(const RunReport& report, bool include_volatile) {
   if (include_volatile) {
     out += "  \"workers\": " + std::to_string(report.workers) + ",\n";
     out += "  \"wall_seconds\": " + format_double(report.wall_seconds) + ",\n";
+    out += "  \"bdd_kernel\": {";
+    out += "\"cache_hits\": " + std::to_string(report.bdd.cache_hits);
+    out += ", \"cache_misses\": " + std::to_string(report.bdd.cache_misses);
+    out += ", \"cache_overwrites\": " +
+           std::to_string(report.bdd.cache_overwrites);
+    out += ", \"hit_rate\": " + format_double(report.bdd.hit_rate());
+    out += ", \"gc_runs\": " + std::to_string(report.bdd.gc_runs);
+    out += ", \"peak_live_nodes\": " +
+           std::to_string(report.bdd.peak_live_nodes);
+    out += "},\n";
   }
   out += "  \"cache\": {\n";
   out += std::string("    \"enabled\": ") +
@@ -101,6 +111,16 @@ std::string to_json(const RunReport& report, bool include_volatile) {
     out += "}";
     if (include_volatile) {
       out += ",\n      \"seconds\": " + format_double(job.seconds);
+      out += ",\n      \"bdd\": {";
+      out += "\"cache_hits\": " + std::to_string(job.stats.bdd_cache_hits);
+      out += ", \"cache_misses\": " +
+             std::to_string(job.stats.bdd_cache_misses);
+      out += ", \"cache_overwrites\": " +
+             std::to_string(job.stats.bdd_cache_overwrites);
+      out += ", \"gc_runs\": " + std::to_string(job.stats.bdd_gc_runs);
+      out += ", \"peak_live_nodes\": " +
+             std::to_string(job.stats.bdd_peak_live_nodes);
+      out += "}";
     }
     out += "\n    }";
     out += i + 1 < report.jobs.size() ? ",\n" : "\n";
@@ -114,7 +134,8 @@ std::string to_csv(const RunReport& report) {
   std::string out =
       "circuit,system,k,seed,luts,clbs,depth,verified,error,"
       "decomposition_steps,shannon_fallbacks,hyper_groups,encoder_runs,"
-      "encoder_random_kept,collapse_mode,cache_lookups,seconds\n";
+      "encoder_random_kept,collapse_mode,cache_lookups,seconds,"
+      "bdd_cache_hits,bdd_cache_misses,bdd_gc_runs,bdd_peak_live_nodes\n";
   for (const JobReport& job : report.jobs) {
     out += job.circuit + "," + job.system + "," + std::to_string(job.k) + "," +
            std::to_string(job.seed) + "," + std::to_string(job.luts) + "," +
@@ -127,7 +148,11 @@ std::string to_csv(const RunReport& report) {
            std::to_string(job.stats.encoder_random_kept) + "," +
            (job.stats.collapse_mode ? "1" : "0") + "," +
            std::to_string(job.stats.cache_lookups) + "," +
-           format_double(job.seconds) + "\n";
+           format_double(job.seconds) + "," +
+           std::to_string(job.stats.bdd_cache_hits) + "," +
+           std::to_string(job.stats.bdd_cache_misses) + "," +
+           std::to_string(job.stats.bdd_gc_runs) + "," +
+           std::to_string(job.stats.bdd_peak_live_nodes) + "\n";
   }
   return out;
 }

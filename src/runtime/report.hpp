@@ -57,10 +57,30 @@ struct CacheReport {
   }
 };
 
+/// Aggregated BDD-kernel figures for the whole batch (all volatile: with the
+/// NPN cache on, which job pays for a template's BDD work depends on which
+/// worker missed first, so per-job and summed kernel counters move with
+/// scheduling).
+struct BddKernelReport {
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_overwrites = 0;
+  std::uint64_t gc_runs = 0;
+  std::uint64_t peak_live_nodes = 0;  ///< max over all managers in the batch
+
+  double hit_rate() const {
+    const std::uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cache_hits) /
+                            static_cast<double>(total);
+  }
+};
+
 struct RunReport {
   int verify_vectors = 0;
   std::vector<JobReport> jobs;  ///< submission order, independent of finish order
   CacheReport cache;
+  BddKernelReport bdd;       ///< volatile
   int workers = 1;           ///< volatile
   double wall_seconds = 0.0;  ///< volatile
 

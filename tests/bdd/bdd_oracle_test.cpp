@@ -1,0 +1,193 @@
+/// \file bdd_oracle_test.cpp
+/// \brief Truth-table-oracle property tests for quantification, composition
+/// and permutation on random BDDs: every operation is checked point-for-point
+/// against a brute-force evaluation over all assignments (n <= 5, so 32
+/// points per function).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "tt/truth_table.hpp"
+
+namespace hyde::bdd {
+namespace {
+
+using hyde::tt::TruthTable;
+
+Bdd random_bdd(Manager& mgr, int num_vars, std::mt19937_64& rng) {
+  const TruthTable table = TruthTable::from_lambda(
+      num_vars, [&rng](std::uint64_t) { return (rng() & 1) != 0; });
+  return mgr.from_truth_table(table);
+}
+
+std::vector<bool> assignment_bits(std::uint64_t m, int n) {
+  std::vector<bool> bits(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) bits[static_cast<std::size_t>(v)] = (m >> v) & 1;
+  return bits;
+}
+
+std::vector<int> random_var_subset(int n, std::mt19937_64& rng) {
+  std::vector<int> vars;
+  for (int v = 0; v < n; ++v) {
+    if (rng() & 1) vars.push_back(v);
+  }
+  if (vars.empty()) vars.push_back(static_cast<int>(rng() % n));
+  return vars;
+}
+
+TEST(BddOracle, ExistsMatchesBruteForce) {
+  std::mt19937_64 rng(11);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = 2 + static_cast<int>(rng() % 4);  // 2..5 variables
+    Manager mgr(n);
+    const Bdd f = random_bdd(mgr, n, rng);
+    const std::vector<int> vars = random_var_subset(n, rng);
+    const Bdd ex = mgr.exists(f, vars);
+    for (std::uint64_t m = 0; m < (std::uint64_t{1} << n); ++m) {
+      // OR of f over every assignment to the quantified variables.
+      bool expected = false;
+      const std::uint64_t q = static_cast<std::uint64_t>(vars.size());
+      for (std::uint64_t sub = 0; sub < (std::uint64_t{1} << q); ++sub) {
+        std::uint64_t point = m;
+        for (std::size_t i = 0; i < vars.size(); ++i) {
+          point &= ~(std::uint64_t{1} << vars[i]);
+          point |= ((sub >> i) & 1) << vars[i];
+        }
+        expected = expected || mgr.eval(f, assignment_bits(point, n));
+      }
+      EXPECT_EQ(mgr.eval(ex, assignment_bits(m, n)), expected)
+          << "trial " << trial << " minterm " << m;
+    }
+  }
+}
+
+TEST(BddOracle, ForallMatchesBruteForce) {
+  std::mt19937_64 rng(12);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = 2 + static_cast<int>(rng() % 4);
+    Manager mgr(n);
+    const Bdd f = random_bdd(mgr, n, rng);
+    const std::vector<int> vars = random_var_subset(n, rng);
+    const Bdd fa = mgr.forall(f, vars);
+    for (std::uint64_t m = 0; m < (std::uint64_t{1} << n); ++m) {
+      bool expected = true;
+      const std::uint64_t q = static_cast<std::uint64_t>(vars.size());
+      for (std::uint64_t sub = 0; sub < (std::uint64_t{1} << q); ++sub) {
+        std::uint64_t point = m;
+        for (std::size_t i = 0; i < vars.size(); ++i) {
+          point &= ~(std::uint64_t{1} << vars[i]);
+          point |= ((sub >> i) & 1) << vars[i];
+        }
+        expected = expected && mgr.eval(f, assignment_bits(point, n));
+      }
+      EXPECT_EQ(mgr.eval(fa, assignment_bits(m, n)), expected)
+          << "trial " << trial << " minterm " << m;
+    }
+  }
+}
+
+TEST(BddOracle, ComposeMatchesBruteForce) {
+  std::mt19937_64 rng(13);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = 2 + static_cast<int>(rng() % 4);
+    Manager mgr(n);
+    const Bdd f = random_bdd(mgr, n, rng);
+    const Bdd g = random_bdd(mgr, n, rng);
+    const int var = static_cast<int>(rng() % static_cast<std::uint64_t>(n));
+    const Bdd composed = mgr.compose(f, var, g);
+    for (std::uint64_t m = 0; m < (std::uint64_t{1} << n); ++m) {
+      auto bits = assignment_bits(m, n);
+      const bool g_val = mgr.eval(g, bits);
+      auto f_bits = bits;
+      f_bits[static_cast<std::size_t>(var)] = g_val;
+      EXPECT_EQ(mgr.eval(composed, bits), mgr.eval(f, f_bits))
+          << "trial " << trial << " minterm " << m;
+    }
+  }
+}
+
+TEST(BddOracle, VectorComposeMatchesBruteForce) {
+  std::mt19937_64 rng(14);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = 2 + static_cast<int>(rng() % 4);
+    Manager mgr(n);
+    const Bdd f = random_bdd(mgr, n, rng);
+    // Substitute a random subset of variables simultaneously.
+    std::unordered_map<int, Bdd, std::hash<int>> map;
+    for (int v = 0; v < n; ++v) {
+      if (rng() & 1) map.emplace(v, random_bdd(mgr, n, rng));
+    }
+    const Bdd composed = mgr.vector_compose(f, map);
+    for (std::uint64_t m = 0; m < (std::uint64_t{1} << n); ++m) {
+      auto bits = assignment_bits(m, n);
+      auto f_bits = bits;
+      for (const auto& [v, g] : map) {
+        f_bits[static_cast<std::size_t>(v)] = mgr.eval(g, bits);
+      }
+      EXPECT_EQ(mgr.eval(composed, bits), mgr.eval(f, f_bits))
+          << "trial " << trial << " minterm " << m;
+    }
+  }
+}
+
+TEST(BddOracle, PermuteMatchesBruteForce) {
+  std::mt19937_64 rng(15);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = 2 + static_cast<int>(rng() % 4);
+    Manager mgr(n);
+    const Bdd f = random_bdd(mgr, n, rng);
+    // Random permutation of the variable indices (injective by shuffle).
+    std::vector<int> perm(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) perm[static_cast<std::size_t>(v)] = v;
+    std::shuffle(perm.begin(), perm.end(), rng);
+    const Bdd permuted = mgr.permute(f, perm);
+    for (std::uint64_t m = 0; m < (std::uint64_t{1} << n); ++m) {
+      const auto bits = assignment_bits(m, n);
+      // permuted(x) reads old variable v at position perm[v].
+      std::vector<bool> f_bits(static_cast<std::size_t>(n));
+      for (int v = 0; v < n; ++v) {
+        f_bits[static_cast<std::size_t>(v)] =
+            bits[static_cast<std::size_t>(perm[static_cast<std::size_t>(v)])];
+      }
+      EXPECT_EQ(mgr.eval(permuted, bits), mgr.eval(f, f_bits))
+          << "trial " << trial << " minterm " << m;
+    }
+  }
+}
+
+TEST(BddOracle, ApplyKernelsMatchBruteForce) {
+  std::mt19937_64 rng(16);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = 2 + static_cast<int>(rng() % 4);
+    Manager mgr(n);
+    const Bdd f = random_bdd(mgr, n, rng);
+    const Bdd g = random_bdd(mgr, n, rng);
+    const Bdd h = random_bdd(mgr, n, rng);
+    const Bdd conj = f & g;
+    const Bdd disj = f | g;
+    const Bdd parity = f ^ g;
+    const Bdd neg = ~f;
+    const Bdd mux = mgr.ite(f, g, h);
+    for (std::uint64_t m = 0; m < (std::uint64_t{1} << n); ++m) {
+      const auto bits = assignment_bits(m, n);
+      const bool fv = mgr.eval(f, bits);
+      const bool gv = mgr.eval(g, bits);
+      const bool hv = mgr.eval(h, bits);
+      EXPECT_EQ(mgr.eval(conj, bits), fv && gv);
+      EXPECT_EQ(mgr.eval(disj, bits), fv || gv);
+      EXPECT_EQ(mgr.eval(parity, bits), fv != gv);
+      EXPECT_EQ(mgr.eval(neg, bits), !fv);
+      EXPECT_EQ(mgr.eval(mux, bits), fv ? gv : hv);
+    }
+    EXPECT_EQ(mgr.disjoint(f, g), (f & g).is_zero());
+  }
+}
+
+}  // namespace
+}  // namespace hyde::bdd

@@ -1,0 +1,109 @@
+/// \file bdd_stats_test.cpp
+/// \brief Sanity checks for the unified computed table's observable behavior:
+/// hit accounting, operand normalization, GC invalidation, the cache-size
+/// knob, and peak-node tracking.
+
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.hpp"
+
+namespace hyde::bdd {
+namespace {
+
+TEST(BddStats, FreshManagerIsEmpty) {
+  Manager mgr(8);
+  const ManagerStats s = mgr.stats();
+  EXPECT_EQ(s.cache_hits, 0u);
+  EXPECT_EQ(s.cache_inserts, 0u);
+  EXPECT_EQ(s.cache_occupied, 0u);
+  EXPECT_EQ(s.live_nodes, 2u);  // the two constants
+  EXPECT_EQ(s.gc_runs, 0);
+  EXPECT_EQ(s.cache_hit_rate(), 0.0);
+}
+
+TEST(BddStats, RepeatedOperationHitsTheCache) {
+  Manager mgr(8);
+  const Bdd f = (mgr.var(0) & mgr.var(1)) ^ (mgr.var(2) | mgr.var(3));
+  const Bdd g = (mgr.var(4) | mgr.var(5)) & ~mgr.var(6);
+  const Bdd once = f ^ g;
+  const std::uint64_t hits_before = mgr.stats().cache_hits;
+  const Bdd again = f ^ g;
+  EXPECT_EQ(once, again);
+  // The repeated root call must be answered from the table.
+  EXPECT_GT(mgr.stats().cache_hits, hits_before);
+}
+
+TEST(BddStats, CommutativeOperandsShareOneEntry) {
+  Manager mgr(8);
+  const Bdd f = mgr.var(0) ^ mgr.var(2) ^ mgr.var(4);
+  const Bdd g = mgr.var(1) | (mgr.var(3) & mgr.var(5));
+  const Bdd fg = f & g;
+  const std::uint64_t hits_before = mgr.stats().cache_hits;
+  const Bdd gf = g & f;  // normalized operands -> same entry
+  EXPECT_EQ(fg, gf);
+  EXPECT_GT(mgr.stats().cache_hits, hits_before);
+}
+
+TEST(BddStats, GarbageCollectionClearsTheTableButKeepsCounters) {
+  Manager mgr(8);
+  const Bdd f = (mgr.var(0) & mgr.var(1)) | (mgr.var(2) & mgr.var(3));
+  const Bdd g = f ^ mgr.var(4);
+  (void)g;
+  const ManagerStats before = mgr.stats();
+  EXPECT_GT(before.cache_inserts, 0u);
+  EXPECT_GT(before.cache_occupied, 0u);
+  mgr.collect_garbage();
+  const ManagerStats after = mgr.stats();
+  EXPECT_EQ(after.cache_occupied, 0u);  // contents invalidated
+  EXPECT_EQ(after.cache_inserts, before.cache_inserts);  // counters persist
+  EXPECT_EQ(after.gc_runs, before.gc_runs + 1);
+  // The operation still computes correctly after invalidation.
+  EXPECT_EQ(f ^ mgr.var(4), g);
+}
+
+TEST(BddStats, CacheLimitIsRespected) {
+  Manager mgr(16);
+  mgr.set_cache_limit(1 << 10);
+  // Enough varied work to trigger growth pressure well past the cap.
+  Bdd acc = mgr.zero();
+  for (int i = 0; i < 14; ++i) {
+    acc = acc ^ (mgr.var(i) & mgr.var((i + 3) % 16));
+    acc = acc | (mgr.var((i + 7) % 16) & ~mgr.var(i));
+  }
+  const ManagerStats s = mgr.stats();
+  EXPECT_LE(s.cache_capacity, std::size_t{1} << 10);
+  EXPECT_GT(s.cache_inserts, 0u);
+  EXPECT_LE(s.cache_occupied, s.cache_capacity);
+}
+
+TEST(BddStats, PeakLiveNodesTracksHighWaterMark) {
+  Manager mgr(12);
+  {
+    Bdd wide = mgr.zero();
+    for (int i = 0; i < 12; ++i) wide = wide ^ mgr.var(i);
+  }
+  const ManagerStats before_gc = mgr.stats();
+  EXPECT_GE(before_gc.peak_live_nodes, 12u);
+  mgr.collect_garbage();
+  const ManagerStats after_gc = mgr.stats();
+  // GC frees the dead parity chain but the peak persists.
+  EXPECT_LT(after_gc.live_nodes, before_gc.live_nodes);
+  EXPECT_EQ(after_gc.peak_live_nodes, before_gc.peak_live_nodes);
+}
+
+TEST(BddStats, HitRateAndLoadAreWellFormed) {
+  Manager mgr(10);
+  Bdd acc = mgr.one();
+  for (int i = 0; i < 10; ++i) acc = acc & (mgr.var(i) | mgr.nvar((i + 1) % 10));
+  const Bdd again = acc & (mgr.var(0) | mgr.nvar(1));
+  (void)again;
+  const ManagerStats s = mgr.stats();
+  EXPECT_GE(s.cache_hit_rate(), 0.0);
+  EXPECT_LE(s.cache_hit_rate(), 1.0);
+  EXPECT_GT(s.unique_load(), 0.0);
+  EXPECT_GE(s.peak_live_nodes, s.live_nodes);
+  EXPECT_GE(s.store_nodes, s.live_nodes);
+}
+
+}  // namespace
+}  // namespace hyde::bdd
