@@ -1,54 +1,26 @@
 #include "bdd/bdd.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cmath>
 #include <functional>
 #include <sstream>
 #include <stdexcept>
 
+#include "bdd/bdd_internal.hpp"
+
 namespace hyde::bdd {
 
+using namespace internal;
+
 namespace {
-constexpr std::uint32_t kZero = 0;
-constexpr std::uint32_t kOne = 1;
-constexpr std::uint32_t kNil = 0xFFFFFFFFu;
-
-// Operation tags for the unified computed table. Tags start at 1: key word
-// `a` packs the tag above the first operand, so a == 0 marks an empty slot.
-enum : std::uint64_t {
-  kOpIte = 1,
-  kOpAnd,
-  kOpOr,
-  kOpXor,
-  kOpNot,
-  kOpCofactor,
-  kOpExists,
-  kOpForall,
-  kOpCompose,
-  kOpDisjoint,
-};
-
-constexpr std::uint64_t op_key(std::uint64_t tag, std::uint32_t operand) {
-  return (tag << 32) | operand;
-}
-
-std::size_t cache_hash(std::uint64_t a, std::uint64_t b) {
-  std::uint64_t h = a * 0x9E3779B97F4A7C15ull ^ (b + 0x517CC1B727220A95ull);
-  h ^= h >> 31;
-  return static_cast<std::size_t>(h);
-}
-
 constexpr std::size_t kCacheInitialEntries = std::size_t{1} << 12;
 constexpr std::size_t kCacheMinEntries = std::size_t{1} << 10;
 
-std::size_t triple_hash(std::int32_t var, std::uint32_t lo, std::uint32_t hi) {
-  std::uint64_t h = static_cast<std::uint32_t>(var);
-  h = h * 0x9E3779B97F4A7C15ull + lo;
-  h ^= h >> 29;
-  h = h * 0xBF58476D1CE4E5B9ull + hi;
-  h ^= h >> 32;
-  return static_cast<std::size_t>(h);
+std::uint64_t next_manager_serial() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 }  // namespace
 
@@ -58,15 +30,25 @@ std::size_t triple_hash(std::int32_t var, std::uint32_t lo, std::uint32_t hi) {
 
 Bdd::Bdd(Manager* mgr, std::uint32_t id) : mgr_(mgr), id_(id) {
   if (mgr_ != nullptr) mgr_->inc_ref(id_);
+#ifdef HYDE_CHECKED
+  if (mgr_ != nullptr) mgr_serial_ = mgr_->serial_;
+#endif
 }
 
 Bdd::Bdd(const Bdd& other) : mgr_(other.mgr_), id_(other.id_) {
   if (mgr_ != nullptr) mgr_->inc_ref(id_);
+#ifdef HYDE_CHECKED
+  mgr_serial_ = other.mgr_serial_;
+#endif
 }
 
 Bdd::Bdd(Bdd&& other) noexcept : mgr_(other.mgr_), id_(other.id_) {
   other.mgr_ = nullptr;
   other.id_ = 0;
+#ifdef HYDE_CHECKED
+  mgr_serial_ = other.mgr_serial_;
+  other.mgr_serial_ = 0;
+#endif
 }
 
 Bdd& Bdd::operator=(const Bdd& other) {
@@ -75,6 +57,9 @@ Bdd& Bdd::operator=(const Bdd& other) {
   if (mgr_ != nullptr) mgr_->dec_ref(id_);
   mgr_ = other.mgr_;
   id_ = other.id_;
+#ifdef HYDE_CHECKED
+  mgr_serial_ = other.mgr_serial_;
+#endif
   return *this;
 }
 
@@ -85,6 +70,10 @@ Bdd& Bdd::operator=(Bdd&& other) noexcept {
   id_ = other.id_;
   other.mgr_ = nullptr;
   other.id_ = 0;
+#ifdef HYDE_CHECKED
+  mgr_serial_ = other.mgr_serial_;
+  other.mgr_serial_ = 0;
+#endif
   return *this;
 }
 
@@ -127,13 +116,17 @@ bool Bdd::implies(const Bdd& rhs) const { return mgr_->implies(*this, rhs); }
 // ---------------------------------------------------------------------------
 
 Manager::Manager(int num_vars) : num_vars_(num_vars) {
+  serial_ = next_manager_serial();
   nodes_.reserve(1024);
   nodes_.push_back(Node{-1, kZero, kZero, kNil, 1});  // constant 0
   nodes_.push_back(Node{-1, kOne, kOne, kNil, 1});    // constant 1
+  total_ext_refs_ = 2;
   rehash_unique(1024);
 }
 
-Manager::~Manager() = default;
+Manager::~Manager() {
+  serial_ = 0;  // HYDE_CHECKED stale handles see a mismatching serial
+}
 
 void Manager::ensure_vars(int num_vars) {
   num_vars_ = std::max(num_vars_, num_vars);
@@ -141,15 +134,20 @@ void Manager::ensure_vars(int num_vars) {
 
 Bdd Manager::make_external(std::uint32_t id) { return Bdd(this, id); }
 
-void Manager::inc_ref(std::uint32_t id) { ++nodes_[id].ext_refs; }
+void Manager::inc_ref(std::uint32_t id) {
+  ++nodes_[id].ext_refs;
+  ++total_ext_refs_;
+}
 
 void Manager::dec_ref(std::uint32_t id) {
   if (nodes_[id].ext_refs == 0) {
     throw std::logic_error("BDD reference count underflow");
   }
   --nodes_[id].ext_refs;
+  --total_ext_refs_;
 }
 
+// hyde-hot
 std::uint32_t Manager::unique_lookup(std::int32_t var, std::uint32_t lo,
                                      std::uint32_t hi) {
   const std::size_t bucket =
@@ -232,6 +230,9 @@ void Manager::collect_garbage() {
   compose_maps_.clear();
   compose_fingerprints_.clear();
   rehash_unique(unique_buckets_.size());
+#ifdef HYDE_CHECKED
+  check_invariants();
+#endif
 }
 
 void Manager::maybe_gc() {
@@ -254,6 +255,7 @@ std::size_t Manager::live_node_count() const {
 // Unified computed table
 // ---------------------------------------------------------------------------
 
+// hyde-hot
 bool Manager::cache_lookup(std::uint64_t a, std::uint64_t b,
                            std::uint32_t* result) {
   if (cache_.empty()) {
@@ -341,6 +343,7 @@ Bdd Manager::nvar(int index) {
   return make_external(make_node(index, kOne, kZero));
 }
 
+// hyde-hot
 std::uint32_t Manager::not_rec(std::uint32_t f) {
   if (f <= kOne) return f ^ 1u;
   const std::uint64_t a = op_key(kOpNot, f);
@@ -357,6 +360,7 @@ std::uint32_t Manager::not_rec(std::uint32_t f) {
   return result;
 }
 
+// hyde-hot
 std::uint32_t Manager::and_rec(std::uint32_t f, std::uint32_t g) {
   if (f == kZero || g == kZero) return kZero;
   if (f == kOne) return g;
@@ -378,6 +382,7 @@ std::uint32_t Manager::and_rec(std::uint32_t f, std::uint32_t g) {
   return result;
 }
 
+// hyde-hot
 std::uint32_t Manager::or_rec(std::uint32_t f, std::uint32_t g) {
   if (f == kOne || g == kOne) return kOne;
   if (f == kZero) return g;
@@ -399,6 +404,7 @@ std::uint32_t Manager::or_rec(std::uint32_t f, std::uint32_t g) {
   return result;
 }
 
+// hyde-hot
 std::uint32_t Manager::xor_rec(std::uint32_t f, std::uint32_t g) {
   if (f == g) return kZero;
   if (f == kZero) return g;
@@ -421,6 +427,7 @@ std::uint32_t Manager::xor_rec(std::uint32_t f, std::uint32_t g) {
   return result;
 }
 
+// hyde-hot
 std::uint32_t Manager::ite_rec(std::uint32_t f, std::uint32_t g,
                                std::uint32_t h) {
   // Terminal cases, then degenerate forms routed to the dedicated kernels so
@@ -461,6 +468,15 @@ void Manager::check_owned(const Bdd& f) const {
   if (f.mgr_ != this) {
     throw std::invalid_argument("Bdd handle belongs to a different manager");
   }
+#ifdef HYDE_CHECKED
+  if (f.mgr_serial_ != serial_) {
+    throw std::logic_error(
+        "stale Bdd handle: owning manager was destroyed (serial mismatch)");
+  }
+  if (f.id_ >= nodes_.size() || (f.id_ > 1 && nodes_[f.id_].var < 0)) {
+    throw std::logic_error("Bdd handle references a dead or invalid node");
+  }
+#endif
 }
 
 Bdd Manager::ite(const Bdd& f, const Bdd& g, const Bdd& h) {
@@ -498,6 +514,7 @@ Bdd Manager::bdd_not(const Bdd& f) {
   return make_external(not_rec(f.id_));
 }
 
+// hyde-hot
 bool Manager::disjoint_rec(std::uint32_t f, std::uint32_t g) {
   if (f == kZero || g == kZero) return true;
   if (f == kOne || g == kOne) return false;  // the other side is nonzero here
@@ -524,6 +541,7 @@ bool Manager::disjoint(const Bdd& f, const Bdd& g) {
   return disjoint_rec(f.id_, g.id_);
 }
 
+// hyde-hot
 std::uint32_t Manager::cofactor_rec(std::uint32_t f, int var, bool value) {
   if (f <= kOne) return f;
   // Copy fields: make_node below can reallocate the node store.
@@ -571,6 +589,7 @@ std::uint32_t Manager::build_cube(const std::vector<int>& vars) {
   return cube;
 }
 
+// hyde-hot
 std::uint32_t Manager::quantify_rec(std::uint32_t f, std::uint32_t cube,
                                     bool existential) {
   if (f <= kOne) return f;
@@ -645,6 +664,7 @@ std::uint64_t Manager::compose_context(const std::vector<std::int64_t>& map) {
   return id + 1;
 }
 
+// hyde-hot
 std::uint32_t Manager::compose_rec(std::uint32_t f,
                                    const std::vector<std::int64_t>& map,
                                    std::uint64_t ctx) {
@@ -672,23 +692,35 @@ std::uint32_t Manager::compose_rec(std::uint32_t f,
 Bdd Manager::compose(const Bdd& f, int var, const Bdd& g) {
   check_owned(f);
   check_owned(g);
+  if (var < 0 || var >= num_vars_) {
+    throw std::invalid_argument("Manager::compose: variable index out of range");
+  }
   maybe_gc();
   std::vector<std::int64_t> map(num_vars_, -1);
-  map[var] = g.id_;
+  map[static_cast<std::size_t>(var)] = g.id_;
   return make_external(compose_rec(f.id_, map, compose_context(map)));
 }
 
 Bdd Manager::vector_compose(
     const Bdd& f, const std::unordered_map<int, Bdd, std::hash<int>>& map) {
+  check_owned(f);
+  for (const auto& [var, g] : map) {
+    check_owned(g);
+    if (var < 0 || var >= num_vars_) {
+      throw std::invalid_argument(
+          "Manager::vector_compose: variable index out of range");
+    }
+  }
   maybe_gc();
   std::vector<std::int64_t> raw(num_vars_, -1);
-  for (const auto& [var, g] : map) raw[var] = g.id_;
+  for (const auto& [var, g] : map) raw[static_cast<std::size_t>(var)] = g.id_;
   return make_external(compose_rec(f.id_, raw, compose_context(raw)));
 }
 
 Bdd Manager::permute(const Bdd& f, const std::vector<int>& perm) {
   check_owned(f);
   maybe_gc();
+  for (const int target : perm) ensure_vars(target + 1);
   std::vector<std::int64_t> map(num_vars_, -1);
   for (std::size_t v = 0; v < perm.size(); ++v) {
     if (perm[v] >= 0 && perm[v] != static_cast<int>(v)) {

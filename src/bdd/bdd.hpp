@@ -80,6 +80,12 @@ class Bdd {
 
   Manager* mgr_ = nullptr;
   std::uint32_t id_ = 0;
+#ifdef HYDE_CHECKED
+  /// Serial of the owning manager at handle creation; lets check_owned
+  /// detect handles that outlived their manager even when a new manager
+  /// reuses the same address.
+  std::uint64_t mgr_serial_ = 0;
+#endif
 };
 
 /// Hash functor for using Bdd as an unordered_map key.
@@ -87,6 +93,34 @@ struct BddHash {
   std::size_t operator()(const Bdd& b) const {
     return std::hash<std::uint32_t>()(b.id());
   }
+};
+
+/// One defect found by Manager::audit_invariants().
+struct InvariantViolation {
+  enum class Kind {
+    kNodeStructure,  ///< bad child id, broken variable ordering, lo == hi
+    kUniqueTable,    ///< wrong bucket, chain corruption, duplicate triple
+    kRefCount,       ///< stored counts disagree with the handle-maintained sum
+    kComputedTable,  ///< occupied slot references a dead or invalid node
+    kFreeList,       ///< free list and dead-node population disagree
+  };
+  Kind kind;
+  std::string detail;
+};
+
+/// Result of a full structural audit (see Manager::audit_invariants()).
+struct InvariantReport {
+  std::vector<InvariantViolation> violations;
+
+  bool ok() const { return violations.empty(); }
+  bool has(InvariantViolation::Kind kind) const {
+    for (const InvariantViolation& v : violations) {
+      if (v.kind == kind) return true;
+    }
+    return false;
+  }
+  /// Multi-line human-readable rendering; empty string when ok().
+  std::string to_string() const;
 };
 
 /// Point-in-time snapshot of a manager's kernel counters (see
@@ -231,10 +265,25 @@ class Manager {
   void set_node_limit(std::size_t limit) { node_limit_ = limit; }
 
   /// Throws std::invalid_argument if the handle came from another manager.
+  /// Under HYDE_CHECKED this additionally detects stale handles whose owning
+  /// manager was destroyed and its address reused (the handle carries the
+  /// owning manager's serial number).
   void check_owned(const Bdd& f) const;
+
+  /// Exhaustive structural audit of the kernel's data structures: unique
+  /// table (canonicity, bucket placement, no duplicate (var, lo, hi)
+  /// triples, variable ordering of children), reference counts (recomputed
+  /// handle totals vs. stored per-node counts), computed table (occupied
+  /// slots reference live nodes only), and free-list integrity. O(store
+  /// size) — a debugging tool, not a hot-path check. Under HYDE_CHECKED it
+  /// runs automatically after every garbage collection.
+  InvariantReport audit_invariants() const;
+  /// Throws std::logic_error carrying the report text if the audit fails.
+  void check_invariants() const;
 
  private:
   friend class Bdd;
+  friend struct ManagerTestPeer;  // corruption-injection hooks for tests
 
   struct Node {
     std::int32_t var;   // variable index; -1 for constants
@@ -319,6 +368,13 @@ class Manager {
   int gc_runs_ = 0;
   std::size_t peak_live_nodes_ = 2;
   std::vector<std::uint32_t> free_list_;
+
+  /// Running sum of all per-node external reference counts, maintained by
+  /// inc_ref/dec_ref. The auditor recomputes the sum from the node store and
+  /// flags any drift (a count mutated without going through the handles).
+  std::uint64_t total_ext_refs_ = 0;
+  /// Process-unique serial for HYDE_CHECKED stale-handle detection.
+  std::uint64_t serial_ = 0;
 };
 
 }  // namespace hyde::bdd

@@ -1,0 +1,58 @@
+/// \file bdd_internal.hpp
+/// \brief Kernel-internal constants shared by bdd.cpp and audit.cpp.
+///
+/// The unified computed table packs an operation tag into the high half of
+/// key word `a` (tags start at 1, so a == 0 marks an empty slot). The
+/// invariant auditor decodes these tags to validate that every occupied slot
+/// references live nodes, so the definitions live here rather than in an
+/// anonymous namespace inside bdd.cpp.
+
+#pragma once
+
+#include <cstdint>
+
+namespace hyde::bdd::internal {
+
+inline constexpr std::uint32_t kZero = 0;
+inline constexpr std::uint32_t kOne = 1;
+inline constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+/// Node::var sentinel for a slot on the free list (dead until recycled).
+inline constexpr std::int32_t kDeadVar = -2;
+
+/// Operation tags for the unified computed table.
+enum Op : std::uint64_t {
+  kOpIte = 1,
+  kOpAnd,
+  kOpOr,
+  kOpXor,
+  kOpNot,
+  kOpCofactor,
+  kOpExists,
+  kOpForall,
+  kOpCompose,
+  kOpDisjoint,
+  kOpLast = kOpDisjoint,
+};
+
+inline constexpr std::uint64_t op_key(std::uint64_t tag, std::uint32_t operand) {
+  return (tag << 32) | operand;
+}
+
+inline std::size_t cache_hash(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t h = a * 0x9E3779B97F4A7C15ull ^ (b + 0x517CC1B727220A95ull);
+  h ^= h >> 31;
+  return static_cast<std::size_t>(h);
+}
+
+inline std::size_t triple_hash(std::int32_t var, std::uint32_t lo,
+                               std::uint32_t hi) {
+  std::uint64_t h = static_cast<std::uint32_t>(var);
+  h = h * 0x9E3779B97F4A7C15ull + lo;
+  h ^= h >> 29;
+  h = h * 0xBF58476D1CE4E5B9ull + hi;
+  h ^= h >> 32;
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace hyde::bdd::internal

@@ -146,7 +146,7 @@ TEST(Example32, RowSetsPairPartitions) {
 
 TEST(Example32, SmallerChartStillAssembles) {
   // The same partitions in an 8x2 or 2x8 chart must also assemble.
-  for (const auto [rows, cols] : {std::pair{8, 2}, std::pair{2, 8}}) {
+  for (const auto& [rows, cols] : {std::pair{8, 2}, std::pair{2, 8}}) {
     const auto assembly = assemble_chart(example32_partitions(), rows, cols);
     ASSERT_TRUE(assembly.success) << rows << "x" << cols;
     EXPECT_LE(static_cast<int>(assembly.row_sets.size()), rows);

@@ -28,8 +28,8 @@ TEST_P(SuiteSweep, HydeFlowVerifies) {
 
 INSTANTIATE_TEST_SUITE_P(AllCircuits, SuiteSweep,
                          ::testing::ValuesIn(mcnc::all_circuits()),
-                         [](const ::testing::TestParamInfo<std::string>& info) {
-                           std::string name = info.param;
+                         [](const ::testing::TestParamInfo<std::string>& param) {
+                           std::string name = param.param;
                            for (char& c : name) {
                              if (!std::isalnum(static_cast<unsigned char>(c))) {
                                c = '_';

@@ -1,0 +1,7 @@
+// Fixture: include-hygiene violations — no #pragma once, a parent-relative
+// include, and a using-directive in a header.
+#include "../secret/internal.hpp"  // line 3: parent-relative include
+
+using namespace std;  // line 5: using namespace in a header
+
+inline int hygiene_fixture() { return 0; }

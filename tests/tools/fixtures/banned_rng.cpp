@@ -1,0 +1,13 @@
+// Fixture: determinism violations (every line number below is asserted in
+// hyde_lint_test.cpp — keep them stable).
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int roll() { return std::rand() % 6; }            // line 7: std::rand
+void reseed() { srand(42); }                      // line 8: srand
+long stamp() { return time(nullptr); }            // line 9: time(nullptr)
+int entropy() { return std::random_device{}(); }  // line 10: random_device
+
+// Mentioning std::rand() in a comment must NOT be reported.
+const char* doc = "call std::rand() never";  // nor inside a string literal

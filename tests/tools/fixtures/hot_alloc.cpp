@@ -1,0 +1,18 @@
+// Fixture: hot-path violations inside a hyde-hot region, and a control
+// function outside the region that must stay clean.
+#include <unordered_map>
+
+// hyde-hot
+int hot_kernel(int n) {
+  std::unordered_map<int, int> memo;  // line 7: node-hashing container
+  int* scratch = new int[8];          // line 8: heap allocation
+  memo[0] = scratch[0] = n;
+  delete[] scratch;
+  return memo[0];
+}
+
+int cold_helper(int n) {
+  std::unordered_map<int, int> fine;  // outside the region: allowed
+  fine[0] = n;
+  return fine[0];
+}

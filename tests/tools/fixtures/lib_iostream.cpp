@@ -1,0 +1,7 @@
+// Fixture: iostream in library code. The test lints this content under a
+// virtual src/ path, where the layering rule applies.
+#include <iostream>  // line 3: stream include
+
+void debug_print(int x) {
+  std::cout << "x = " << x << "\n";  // line 6: console output
+}

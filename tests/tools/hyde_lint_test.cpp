@@ -1,0 +1,161 @@
+/// Tests for tools/hyde_lint: fixture files with known violations must
+/// produce exact diagnostics, allowlisting must suppress them, and the real
+/// library tree must lint clean under the committed allowlist.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace hyde::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string fixture(const std::string& name) {
+  return read_file(fs::path(HYDE_FIXTURE_DIR) / name);
+}
+
+/// Sorted (line, rule) pairs for compact assertions.
+std::vector<std::pair<int, std::string>> summarize(
+    const std::vector<Diagnostic>& diags) {
+  std::vector<std::pair<int, std::string>> out;
+  out.reserve(diags.size());
+  for (const Diagnostic& d : diags) out.emplace_back(d.line, d.rule);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(HydeLintTest, ReportsBannedRngWithExactLines) {
+  const auto diags =
+      lint_content("src/fake/rng.cpp", fixture("banned_rng.cpp"), {});
+  const auto got = summarize(diags);
+  const std::vector<std::pair<int, std::string>> want = {
+      {7, "determinism"},   // std::rand
+      {8, "determinism"},   // srand
+      {9, "determinism"},   // time(nullptr)
+      {10, "determinism"},  // std::random_device
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(HydeLintTest, BenchPathsAreExemptFromDeterminismRule) {
+  const auto diags =
+      lint_content("bench/fake/rng.cpp", fixture("banned_rng.cpp"), {});
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(HydeLintTest, ReportsHotPathAllocationOnlyInsideMarkedRegion) {
+  const auto diags =
+      lint_content("src/fake/hot.cpp", fixture("hot_alloc.cpp"), {});
+  const auto got = summarize(diags);
+  const std::vector<std::pair<int, std::string>> want = {
+      {7, "hot-path"},  // unordered_map in the marked kernel
+      {8, "hot-path"},  // new in the marked kernel
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(HydeLintTest, ReportsIostreamInLibraryCode) {
+  const auto diags =
+      lint_content("src/fake/print.cpp", fixture("lib_iostream.cpp"), {});
+  const auto got = summarize(diags);
+  const std::vector<std::pair<int, std::string>> want = {
+      {3, "iostream-layering"},  // #include <iostream>
+      {6, "iostream-layering"},  // std::cout
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(HydeLintTest, IostreamRuleOnlyAppliesUnderSrc) {
+  const auto diags = lint_content("examples/fake/print.cpp",
+                                  fixture("lib_iostream.cpp"), {});
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(HydeLintTest, ReportsIncludeHygieneInHeaders) {
+  const auto diags =
+      lint_content("src/fake/bad.hpp", fixture("bad_header.hpp"), {});
+  const auto got = summarize(diags);
+  const std::vector<std::pair<int, std::string>> want = {
+      {1, "include-hygiene"},  // missing #pragma once
+      {3, "include-hygiene"},  // parent-relative include
+      {5, "include-hygiene"},  // using namespace in a header
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(HydeLintTest, AllowlistSuppressesMatchingRuleAndPath) {
+  Options options;
+  options.allow = parse_allowlist(
+      "# comment line\n"
+      "iostream-layering src/fake/print.cpp\n");
+  const auto diags =
+      lint_content("src/fake/print.cpp", fixture("lib_iostream.cpp"), options);
+  EXPECT_TRUE(diags.empty());
+  // The entry is rule-specific: other rules still fire on the same path.
+  const auto rng =
+      lint_content("src/fake/print.cpp", fixture("banned_rng.cpp"), options);
+  EXPECT_EQ(rng.size(), 4u);
+}
+
+TEST(HydeLintTest, WildcardAllowlistSuppressesEverything) {
+  Options options;
+  options.allow = parse_allowlist("* fixtures/\n");
+  const auto diags = lint_content("src/fixtures/rng.cpp",
+                                  fixture("banned_rng.cpp"), options);
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(HydeLintTest, DiagnosticsCarryFixHints) {
+  const auto diags =
+      lint_content("src/fake/rng.cpp", fixture("banned_rng.cpp"), {});
+  ASSERT_FALSE(diags.empty());
+  for (const Diagnostic& d : diags) {
+    EXPECT_FALSE(d.hint.empty());
+    const std::string rendered = format_diagnostic(d, /*fix_hints=*/true);
+    EXPECT_NE(rendered.find("hint: "), std::string::npos);
+    EXPECT_NE(rendered.find(d.rule), std::string::npos);
+  }
+}
+
+TEST(HydeLintTest, RealLibraryTreeIsCleanUnderCommittedAllowlist) {
+  const fs::path root = fs::path(HYDE_SOURCE_DIR);
+  Options options;
+  options.allow =
+      parse_allowlist(read_file(root / "tools" / "hyde_lint.allow"));
+  std::vector<std::string> offenders;
+  for (const auto& entry :
+       fs::recursive_directory_iterator(root / "src")) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".cpp" && ext != ".hpp" && ext != ".h") continue;
+    const std::string path = entry.path().generic_string();
+    for (const Diagnostic& d :
+         lint_content(path, read_file(entry.path()), options)) {
+      offenders.push_back(format_diagnostic(d, /*fix_hints=*/false));
+    }
+  }
+  EXPECT_TRUE(offenders.empty()) << [&] {
+    std::ostringstream os;
+    for (const auto& o : offenders) os << o << "\n";
+    return os.str();
+  }();
+}
+
+}  // namespace
+}  // namespace hyde::lint

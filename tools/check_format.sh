@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Verifies that the tree satisfies .clang-format.
+#
+#   tools/check_format.sh            # skip with a notice if clang-format is
+#                                    # not installed (local convenience)
+#   tools/check_format.sh --require  # fail when clang-format is missing (CI)
+#
+# Scans src/, tests/, tools/, bench/ and examples/, excluding lint fixture
+# files (they intentionally violate style and lint rules).
+set -u
+
+cd "$(dirname "$0")/.."
+
+require=0
+if [ "${1:-}" = "--require" ]; then
+  require=1
+fi
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  if [ "$require" = 1 ]; then
+    echo "check_format: clang-format not found and --require was given" >&2
+    exit 1
+  fi
+  echo "check_format: clang-format not found, skipping (install it or run in CI)"
+  exit 0
+fi
+
+mapfile -t files < <(find src tests tools bench examples \
+  \( -name '*.cpp' -o -name '*.hpp' -o -name '*.h' -o -name '*.cc' \) \
+  -not -path 'tests/tools/fixtures/*' | sort)
+
+if [ "${#files[@]}" = 0 ]; then
+  echo "check_format: no files found" >&2
+  exit 1
+fi
+
+clang-format --dry-run -Werror "${files[@]}"
+status=$?
+if [ "$status" = 0 ]; then
+  echo "check_format: ${#files[@]} files clean"
+fi
+exit "$status"

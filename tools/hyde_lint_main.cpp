@@ -1,0 +1,121 @@
+/// \file hyde_lint_main.cpp
+/// \brief CLI driver for hyde_lint (see tools/lint/lint.hpp for the rules).
+///
+/// Usage: hyde_lint [--allow FILE] [--fix-hints] [--quiet] PATH...
+///
+/// Each PATH is a file or a directory (recursed for .cpp/.hpp/.h/.cc).
+/// Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hyde::lint::Options options;
+  bool quiet = false;
+  std::string allow_path;
+  std::vector<std::string> roots;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fix-hints") {
+      options.fix_hints = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--allow") {
+      if (i + 1 >= argc) {
+        std::cerr << "hyde_lint: --allow requires a file argument\n";
+        return 2;
+      }
+      allow_path = argv[++i];
+    } else if (arg.rfind("--allow=", 0) == 0) {
+      allow_path = arg.substr(8);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: hyde_lint [--allow FILE] [--fix-hints] [--quiet] "
+                   "PATH...\n";
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "hyde_lint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::cerr << "hyde_lint: no paths given (try --help)\n";
+    return 2;
+  }
+
+  if (!allow_path.empty()) {
+    std::string text;
+    if (!read_file(allow_path, &text)) {
+      std::cerr << "hyde_lint: cannot read allowlist " << allow_path << "\n";
+      return 2;
+    }
+    options.allow = hyde::lint::parse_allowlist(text);
+  }
+
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(root, ec)) {
+        if (entry.is_regular_file() && lintable(entry.path())) {
+          files.push_back(entry.path().generic_string());
+        }
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      files.push_back(fs::path(root).generic_string());
+    } else {
+      std::cerr << "hyde_lint: no such file or directory: " << root << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::size_t total = 0;
+  for (const std::string& file : files) {
+    std::string content;
+    if (!read_file(file, &content)) {
+      std::cerr << "hyde_lint: cannot read " << file << "\n";
+      return 2;
+    }
+    const auto diags = hyde::lint::lint_content(file, content, options);
+    total += diags.size();
+    for (const auto& d : diags) {
+      std::cout << hyde::lint::format_diagnostic(d, options.fix_hints) << "\n";
+    }
+  }
+
+  if (!quiet) {
+    std::cerr << "hyde_lint: " << files.size() << " files, " << total
+              << " violation" << (total == 1 ? "" : "s") << "\n";
+  }
+  return total == 0 ? 0 : 1;
+}

@@ -1,0 +1,305 @@
+#include "lint/lint.hpp"
+
+#include <cctype>
+#include <regex>
+#include <sstream>
+
+namespace hyde::lint {
+
+namespace {
+
+bool path_contains(const std::string& path, const std::string& fragment) {
+  return path.find(fragment) != std::string::npos;
+}
+
+bool is_header(const std::string& path) {
+  return path.size() >= 4 && (path.rfind(".hpp") == path.size() - 4 ||
+                              path.rfind(".h") == path.size() - 2);
+}
+
+/// Splits content into lines (keeps empty trailing lines out).
+std::vector<std::string> split_lines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (const char c : content) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else if (c != '\r') {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) lines.push_back(current);
+  return lines;
+}
+
+/// Blanks comments and string/char literal contents so token rules cannot
+/// fire inside them. Raw string literals are treated like ordinary strings
+/// (good enough for this codebase; documented limitation).
+std::vector<std::string> strip_to_code(const std::vector<std::string>& lines) {
+  std::vector<std::string> code;
+  code.reserve(lines.size());
+  bool in_block_comment = false;
+  for (const std::string& line : lines) {
+    std::string out(line.size(), ' ');
+    bool in_string = false;
+    bool in_char = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+      if (in_block_comment) {
+        if (c == '*' && next == '/') {
+          in_block_comment = false;
+          ++i;
+        }
+        continue;
+      }
+      if (in_string) {
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          in_string = false;
+          out[i] = '"';
+        }
+        continue;
+      }
+      if (in_char) {
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          in_char = false;
+          out[i] = '\'';
+        }
+        continue;
+      }
+      if (c == '/' && next == '/') break;  // rest is a line comment
+      if (c == '/' && next == '*') {
+        in_block_comment = true;
+        ++i;
+        continue;
+      }
+      if (c == '"') {
+        in_string = true;
+        out[i] = '"';
+        continue;
+      }
+      if (c == '\'') {
+        // Distinguish digit separators (1'000'000) from char literals: a
+        // quote directly after an alphanumeric character is a separator.
+        if (i > 0 && (std::isalnum(static_cast<unsigned char>(line[i - 1])) !=
+                      0)) {
+          out[i] = line[i];
+          continue;
+        }
+        in_char = true;
+        out[i] = '\'';
+        continue;
+      }
+      out[i] = c;
+    }
+    code.push_back(out);
+  }
+  return code;
+}
+
+struct TokenRule {
+  std::regex pattern;
+  std::string what;
+  std::string hint;
+};
+
+const std::vector<TokenRule>& determinism_rules() {
+  static const std::vector<TokenRule> rules = {
+      {std::regex(R"(\bstd::rand\b|[^\w:.]rand\s*\(\s*\))"),
+       "banned RNG: rand()",
+       "use a std::mt19937 seeded from an explicit parameter"},
+      {std::regex(R"(\bsrand\s*\()"), "banned RNG seeding: srand()",
+       "thread the seed through the call chain instead of global state"},
+      {std::regex(R"(\btime\s*\(\s*(nullptr|NULL|0)\s*\))"),
+       "wall-clock seed: time(...)",
+       "derive seeds from inputs (e.g. a key hash) so runs are reproducible"},
+      {std::regex(R"(\bstd::random_device\b|\brandom_device\b)"),
+       "nondeterministic source: std::random_device",
+       "accept a seed argument; reserve random_device for bench/ only"},
+  };
+  return rules;
+}
+
+const std::vector<TokenRule>& hot_path_rules() {
+  static const std::vector<TokenRule> rules = {
+      {std::regex(R"(\bstd::unordered_(map|set)\b)"),
+       "node-hashing container in a hyde-hot region",
+       "use the manager's computed table or a flat array keyed by node id"},
+      {std::regex(R"(\bstd::(map|set|multimap|multiset)\b)"),
+       "ordered container in a hyde-hot region",
+       "hot kernels must be allocation-free; hoist the container out"},
+      {std::regex(R"(\bstd::function\b)"),
+       "type-erased callable in a hyde-hot region",
+       "use a template parameter or a plain function pointer"},
+      {std::regex(R"(\bnew\b|\bmalloc\s*\()"),
+       "heap allocation in a hyde-hot region",
+       "preallocate in the manager and reuse storage across calls"},
+      {std::regex(R"(\b(push_back|emplace_back)\s*\(|\.(resize|reserve)\s*\()"),
+       "growing a container in a hyde-hot region",
+       "size the buffer before entering the kernel"},
+      {std::regex(R"(\bstd::string\b)"),
+       "std::string in a hyde-hot region",
+       "format diagnostics outside the kernel"},
+  };
+  return rules;
+}
+
+const std::vector<TokenRule>& iostream_rules() {
+  static const std::vector<TokenRule> rules = {
+      {std::regex(R"(#\s*include\s*<(iostream|cstdio|stdio\.h)>)"),
+       "stream/stdio include in library code",
+       "return data or use std::ostringstream; printing belongs to the CLI "
+       "and report layers"},
+      {std::regex(R"(\bstd::(cout|cerr|clog)\b)"),
+       "console output in library code",
+       "surface results through return values; only the CLI prints"},
+      {std::regex(R"(\b(printf|fprintf|puts)\s*\()"),
+       "stdio output in library code",
+       "surface results through return values; only the CLI prints"},
+  };
+  return rules;
+}
+
+}  // namespace
+
+std::vector<AllowEntry> parse_allowlist(const std::string& text) {
+  std::vector<AllowEntry> entries;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    AllowEntry entry;
+    if (fields >> entry.rule >> entry.path_fragment) {
+      entries.push_back(entry);
+    }
+  }
+  return entries;
+}
+
+bool is_allowed(const std::vector<AllowEntry>& allow, const std::string& rule,
+                const std::string& path) {
+  for (const AllowEntry& entry : allow) {
+    if ((entry.rule == rule || entry.rule == "*") &&
+        path_contains(path, entry.path_fragment)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Diagnostic> lint_content(const std::string& path,
+                                     const std::string& content,
+                                     const Options& opts) {
+  std::vector<Diagnostic> diags;
+  const std::vector<std::string> lines = split_lines(content);
+  const std::vector<std::string> code = strip_to_code(lines);
+
+  auto report = [&](int line, const std::string& rule,
+                    const std::string& message, const std::string& hint) {
+    if (is_allowed(opts.allow, rule, path)) return;
+    diags.push_back({path, line, rule, message, hint});
+  };
+  auto apply_rules = [&](const std::vector<TokenRule>& rules,
+                         const std::string& rule_name, int line_index) {
+    for (const TokenRule& rule : rules) {
+      if (std::regex_search(code[static_cast<std::size_t>(line_index)],
+                            rule.pattern)) {
+        report(line_index + 1, rule_name, rule.what, rule.hint);
+      }
+    }
+  };
+
+  const bool in_bench = path_contains(path, "bench/");
+  const bool in_library = path_contains(path, "src/");
+
+  // Hot-region tracking: a `// hyde-hot` comment covers the function whose
+  // opening brace follows the marker; the region ends at the matching brace.
+  bool hot_pending = false;
+  int hot_depth = 0;
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const int line_no = static_cast<int>(i) + 1;
+    const std::string& raw = lines[i];
+    const std::string& c = code[i];
+
+    if (raw.find("hyde-hot") != std::string::npos &&
+        c.find("hyde-hot") == std::string::npos) {
+      hot_pending = true;  // marker lives in a comment, as intended
+      continue;
+    }
+
+    // A line belongs to the hot region if the region was already open, or
+    // if the marker is pending and this line opens the function body.
+    const bool line_in_hot =
+        hot_depth > 0 ||
+        (hot_pending && c.find('{') != std::string::npos);
+    if (hot_pending || hot_depth > 0) {
+      for (const char ch : c) {
+        if (ch == '{') {
+          hot_depth += 1;
+          hot_pending = false;
+        } else if (ch == '}') {
+          if (hot_depth > 0) hot_depth -= 1;
+          if (hot_depth == 0 && !hot_pending) break;
+        }
+      }
+    }
+
+    if (!in_bench) apply_rules(determinism_rules(), "determinism",
+                               static_cast<int>(i));
+    if (line_in_hot) {
+      apply_rules(hot_path_rules(), "hot-path", static_cast<int>(i));
+    }
+    if (in_library) {
+      apply_rules(iostream_rules(), "iostream-layering", static_cast<int>(i));
+    }
+
+    // Include hygiene applies everywhere. The directive survives literal
+    // blanking but the quoted path does not, so pair the code view (proves
+    // it is a real directive, not a comment) with the raw text.
+    if (c.find("#include") != std::string::npos &&
+        raw.find("\"../") != std::string::npos) {
+      report(line_no, "include-hygiene",
+             "parent-relative include path",
+             "include project headers by their src/-relative path");
+    }
+    if (is_header(path) && c.find("using namespace") != std::string::npos) {
+      report(line_no, "include-hygiene", "`using namespace` in a header",
+             "qualify names explicitly; headers leak into every consumer");
+    }
+  }
+
+  if (is_header(path)) {
+    bool has_pragma_once = false;
+    for (const std::string& c : code) {
+      if (c.find("#pragma once") != std::string::npos) {
+        has_pragma_once = true;
+        break;
+      }
+    }
+    if (!has_pragma_once) {
+      report(1, "include-hygiene", "header missing #pragma once",
+             "add `#pragma once` as the first directive");
+    }
+  }
+
+  return diags;
+}
+
+std::string format_diagnostic(const Diagnostic& d, bool fix_hints) {
+  std::ostringstream os;
+  os << d.file << ":" << d.line << ": [" << d.rule << "] " << d.message;
+  if (fix_hints && !d.hint.empty()) {
+    os << "\n    hint: " << d.hint;
+  }
+  return os.str();
+}
+
+}  // namespace hyde::lint

@@ -1,0 +1,69 @@
+/// \file lint.hpp
+/// \brief hyde_lint: repo-specific static checks, no external dependencies.
+///
+/// A deliberately small, text-based checker (not a compiler plugin): it
+/// blanks comments and string literals, then applies per-line rules whose
+/// scope is derived from the file path. Rules:
+///
+///  - `determinism`       banned nondeterminism sources (std::rand, srand,
+///                        time(nullptr)-style seeds, std::random_device)
+///                        outside bench/
+///  - `hot-path`          no allocating or node-hashing containers inside
+///                        regions marked `// hyde-hot` (the marker covers
+///                        the function that follows it)
+///  - `iostream-layering` no <iostream>/<cstdio> use in library code under
+///                        src/ (the CLI and report layer are exempt via the
+///                        allowlist)
+///  - `include-hygiene`   headers carry #pragma once, no `#include "../`,
+///                        no `using namespace` in headers
+///
+/// See docs/ANALYSIS.md for the rationale behind each rule and the
+/// allowlist format.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hyde::lint {
+
+/// One finding. `line` is 1-based.
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+  std::string hint;  ///< suggested fix, printed in --fix-hints mode
+};
+
+/// One allowlist entry: suppresses `rule` for any file whose path contains
+/// `path_fragment` as a substring.
+struct AllowEntry {
+  std::string rule;
+  std::string path_fragment;
+};
+
+struct Options {
+  std::vector<AllowEntry> allow;
+  bool fix_hints = false;
+};
+
+/// Parses the allowlist format: one `rule path-fragment` pair per line,
+/// `#` starts a comment, blank lines ignored.
+std::vector<AllowEntry> parse_allowlist(const std::string& text);
+
+/// True iff an allowlist entry suppresses `rule` for `path`.
+bool is_allowed(const std::vector<AllowEntry>& allow, const std::string& rule,
+                const std::string& path);
+
+/// Lints one file's content. `path` selects the applicable rules (see file
+/// comment); it does not need to exist on disk.
+std::vector<Diagnostic> lint_content(const std::string& path,
+                                     const std::string& content,
+                                     const Options& opts);
+
+/// Formats a diagnostic as `file:line: [rule] message` (plus a hint line in
+/// fix-hints mode).
+std::string format_diagnostic(const Diagnostic& d, bool fix_hints);
+
+}  // namespace hyde::lint
