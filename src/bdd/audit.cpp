@@ -13,9 +13,10 @@
 /// corruption-injection tests that pin each one.
 
 #include <cstdint>
+#include <map>
 #include <sstream>
 #include <stdexcept>
-#include <unordered_map>
+#include <tuple>
 #include <vector>
 
 #include "bdd/bdd.hpp"
@@ -43,14 +44,6 @@ const char* kind_name(InvariantViolation::Kind kind) {
       return "free-list";
   }
   return "unknown";
-}
-
-/// Packs a (var, lo, hi) triple into one key for duplicate detection.
-std::uint64_t triple_key(std::int32_t var, std::uint32_t lo, std::uint32_t hi) {
-  std::uint64_t h = static_cast<std::uint32_t>(var);
-  h = h * 0x100000001B3ull ^ lo;
-  h = h * 0x100000001B3ull ^ hi;
-  return h;
 }
 
 }  // namespace
@@ -173,12 +166,17 @@ InvariantReport Manager::audit_invariants() const {
 
   // --- Canonicity: no two live nodes share a (var, lo, hi) triple ---------
   {
-    std::unordered_map<std::uint64_t, std::uint32_t> seen;
+    // Keyed on the exact triple, not a hash of it: a lossy key would report
+    // a false duplicate on collision, which under HYDE_CHECKED aborts a
+    // perfectly healthy run.
+    std::map<std::tuple<std::int32_t, std::uint32_t, std::uint32_t>,
+             std::uint32_t>
+        seen;
     for (std::uint32_t id = 2; id < store; ++id) {
       const Node& n = nodes_[id];
       if (n.var < 0) continue;
       const auto [it, inserted] =
-          seen.emplace(triple_key(n.var, n.lo, n.hi), id);
+          seen.emplace(std::make_tuple(n.var, n.lo, n.hi), id);
       if (!inserted) {
         std::ostringstream os;
         os << "duplicate triple (var " << n.var << ", lo " << n.lo << ", hi "

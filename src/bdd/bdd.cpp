@@ -720,6 +720,9 @@ Bdd Manager::vector_compose(
 Bdd Manager::permute(const Bdd& f, const std::vector<int>& perm) {
   check_owned(f);
   maybe_gc();
+  // perm maps every var in [0, perm.size()) to a target, so both the domain
+  // and the targets must exist before `map` (sized num_vars_) is indexed.
+  ensure_vars(static_cast<int>(perm.size()));
   for (const int target : perm) ensure_vars(target + 1);
   std::vector<std::int64_t> map(num_vars_, -1);
   for (std::size_t v = 0; v < perm.size(); ++v) {

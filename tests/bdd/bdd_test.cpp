@@ -128,6 +128,17 @@ TEST(Bdd, PermuteRenames) {
   EXPECT_EQ(g, mgr.var(3) | (mgr.var(4) & mgr.var(5)));
 }
 
+TEST(Bdd, PermuteLongerThanManagerGrowsVariables) {
+  // A permutation whose domain exceeds num_vars must grow the manager, not
+  // write past the end of the internal substitution map (regression: the
+  // map was sized num_vars while indexed by perm position).
+  Manager mgr(2);
+  const Bdd f = mgr.var(0) & mgr.var(1);
+  const Bdd g = mgr.permute(f, {1, 0, 0});
+  EXPECT_EQ(g, mgr.var(0) & mgr.var(1));
+  EXPECT_GE(mgr.num_vars(), 3);
+}
+
 TEST(Bdd, SupportComputation) {
   Manager mgr(8);
   const Bdd f = (mgr.var(1) & mgr.var(5)) ^ mgr.var(7);

@@ -1,0 +1,14 @@
+// Fixture: the hyde-hot marker as a trailing comment on the same line as
+// the opening brace. Braces on the marker line must still be counted so
+// the region opens here and closes at the function's matching brace.
+#include <cstdint>
+
+std::uint32_t hot_kernel(std::uint32_t x) {  // hyde-hot
+  auto* boxed = new std::uint32_t(x);  // line 7: heap allocation
+  return *boxed;
+}
+
+std::uint32_t cold_helper(std::uint32_t x) {
+  auto* fine = new std::uint32_t(x);  // outside the region: allowed
+  return *fine;
+}

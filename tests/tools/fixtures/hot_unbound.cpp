@@ -1,0 +1,15 @@
+// Fixture: a marker above a bodiless declaration binds to nothing; the
+// checker must diagnose the dangling marker instead of staying latched
+// until some unrelated later function opens a brace.
+#include <cstdint>
+// hyde-hot
+std::uint32_t declared_only(std::uint32_t x);
+
+// Enough commentary here that the bind window expires well before the
+// next function body opens, proving the pending marker is dropped and
+// diagnosed rather than silently attached to later_fn below.
+
+std::uint32_t later_fn(std::uint32_t x) {
+  auto* p = new std::uint32_t(x);  // must stay clean: no hot region here
+  return *p;
+}

@@ -70,6 +70,31 @@ TEST(HydeLintTest, ReportsHotPathAllocationOnlyInsideMarkedRegion) {
   EXPECT_EQ(got, want);
 }
 
+TEST(HydeLintTest, TrailingMarkerOnBraceLineOpensRegionThere) {
+  // The opening brace shares a line with the marker: that brace must be
+  // counted, so the region spans exactly hot_kernel and ends at its
+  // closing brace instead of leaking into cold_helper.
+  const auto diags = lint_content("src/fake/hot_trailing.cpp",
+                                  fixture("hot_trailing.cpp"), {});
+  const auto got = summarize(diags);
+  const std::vector<std::pair<int, std::string>> want = {
+      {7, "hot-path"},  // new inside the region opened on the marker line
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(HydeLintTest, UnboundMarkerIsDiagnosedAndDoesNotLatch) {
+  // A marker over a bodiless declaration must be reported as dangling and
+  // must not hot-lint the next function that happens to open a brace.
+  const auto diags = lint_content("src/fake/hot_unbound.cpp",
+                                  fixture("hot_unbound.cpp"), {});
+  const auto got = summarize(diags);
+  const std::vector<std::pair<int, std::string>> want = {
+      {5, "hot-path"},  // the dangling marker itself; later_fn stays clean
+  };
+  EXPECT_EQ(got, want);
+}
+
 TEST(HydeLintTest, ReportsIostreamInLibraryCode) {
   const auto diags =
       lint_content("src/fake/print.cpp", fixture("lib_iostream.cpp"), {});

@@ -220,19 +220,25 @@ std::vector<Diagnostic> lint_content(const std::string& path,
   const bool in_library = path_contains(path, "src/");
 
   // Hot-region tracking: a `// hyde-hot` comment covers the function whose
-  // opening brace follows the marker; the region ends at the matching brace.
+  // opening brace follows the marker (possibly on the marker line itself, as
+  // a trailing comment); the region ends at the matching brace. A marker
+  // that finds no brace within kHotBindWindow lines never binds — diagnose
+  // it rather than silently latching onto some unrelated later function.
+  constexpr int kHotBindWindow = 5;
   bool hot_pending = false;
   int hot_depth = 0;
+  int hot_marker_line = 0;
 
   for (std::size_t i = 0; i < lines.size(); ++i) {
     const int line_no = static_cast<int>(i) + 1;
     const std::string& raw = lines[i];
     const std::string& c = code[i];
 
-    if (raw.find("hyde-hot") != std::string::npos &&
-        c.find("hyde-hot") == std::string::npos) {
-      hot_pending = true;  // marker lives in a comment, as intended
-      continue;
+    const bool marker_here = raw.find("hyde-hot") != std::string::npos &&
+                             c.find("hyde-hot") == std::string::npos;
+    if (marker_here) {  // marker lives in a comment, as intended
+      hot_pending = true;
+      hot_marker_line = line_no;
     }
 
     // A line belongs to the hot region if the region was already open, or
@@ -251,6 +257,18 @@ std::vector<Diagnostic> lint_content(const std::string& path,
         }
       }
     }
+    if (hot_pending && line_no - hot_marker_line >= kHotBindWindow) {
+      hot_pending = false;
+      report(hot_marker_line, "hot-path",
+             "hyde-hot marker does not bind to a function body",
+             "place the marker directly above (or on) the line that opens "
+             "the function it covers");
+    }
+
+    // The marker line itself is exempt from the token rules: it is
+    // commentary, and for a trailing marker the function signature on that
+    // line is not kernel body.
+    if (marker_here) continue;
 
     if (!in_bench) apply_rules(determinism_rules(), "determinism",
                                static_cast<int>(i));
@@ -274,6 +292,13 @@ std::vector<Diagnostic> lint_content(const std::string& path,
       report(line_no, "include-hygiene", "`using namespace` in a header",
              "qualify names explicitly; headers leak into every consumer");
     }
+  }
+
+  if (hot_pending) {
+    report(hot_marker_line, "hot-path",
+           "hyde-hot marker does not bind to a function body",
+           "place the marker directly above (or on) the line that opens "
+           "the function it covers");
   }
 
   if (is_header(path)) {

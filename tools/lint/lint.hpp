@@ -10,7 +10,9 @@
 ///                        outside bench/
 ///  - `hot-path`          no allocating or node-hashing containers inside
 ///                        regions marked `// hyde-hot` (the marker covers
-///                        the function that follows it)
+///                        the function whose body opens on or shortly after
+///                        the marker line; a marker that never binds to a
+///                        body is itself diagnosed)
 ///  - `iostream-layering` no <iostream>/<cstdio> use in library code under
 ///                        src/ (the CLI and report layer are exempt via the
 ///                        allowlist)
