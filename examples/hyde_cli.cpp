@@ -8,6 +8,13 @@
 ///   -o <file>     write the mapped network as BLIF (default: no output file)
 ///   --pla-out <f> write the mapped network as a flattened PLA
 ///   --no-verify   skip the random-vector equivalence check
+///   --profile     print the per-phase wall-clock breakdown (varpart /
+///                 classes / encoding / mapping) plus search-engine counters;
+///                 the same numbers always land in the volatile RunReport
+///                 JSON/CSV sections regardless of this flag
+///   --search-threads <n>  parallelize candidate bound-set evaluation inside
+///                 each flow (decomp/search.hpp; results are bit-identical
+///                 at any thread count)
 ///
 /// Batch mode sweeps the whole built-in MCNC-like suite (times the selected
 /// systems) in parallel through the runtime scheduler and NPN result cache:
@@ -57,11 +64,11 @@ known_systems() {
 int usage() {
   std::fprintf(stderr,
                "usage: hyde_cli [-k n] [-s hyde|imodec|fgsyn|rk|rk-resub|all] "
-               "[-o out.blif] [--pla-out out.pla] [--no-verify] "
-               "<circuit.blif|circuit.pla|@benchmark>\n"
+               "[-o out.blif] [--pla-out out.pla] [--no-verify] [--profile] "
+               "[--search-threads n] <circuit.blif|circuit.pla|@benchmark>\n"
                "       hyde_cli --batch [-k n] [-s system|all] [--workers n] "
                "[--seed n] [--json file] [--csv file] [--deterministic-json] "
-               "[--no-cache] [--no-verify]\n");
+               "[--no-cache] [--no-verify] [--profile] [--search-threads n]\n");
   return 2;
 }
 
@@ -82,10 +89,22 @@ bool parse_long(const std::string& arg, long* out) {
   return true;
 }
 
+void print_profile(const hyde::core::FlowStats& stats, const char* indent) {
+  std::printf(
+      "%svarpart %.3fs (selects %llu, evaluated %llu, pruned %llu, "
+      "memo hits %llu) | classes %.3fs | encoding %.3fs | mapping %.3fs\n",
+      indent, stats.varpart_seconds,
+      static_cast<unsigned long long>(stats.search_selects),
+      static_cast<unsigned long long>(stats.search_candidates_evaluated),
+      static_cast<unsigned long long>(stats.search_candidates_pruned),
+      static_cast<unsigned long long>(stats.search_memo_hits),
+      stats.classes_seconds, stats.encoding_seconds, stats.mapping_seconds);
+}
+
 int run_batch_mode(const std::string& system_name, int k, int workers,
                    std::uint64_t seed, bool verify, bool use_cache,
                    const std::string& json_path, const std::string& csv_path,
-                   bool deterministic_json) {
+                   bool deterministic_json, bool profile, int search_threads) {
   using namespace hyde;
   std::vector<baseline::System> systems;
   for (const auto& [name, system] : known_systems()) {
@@ -98,6 +117,7 @@ int run_batch_mode(const std::string& system_name, int k, int workers,
   options.workers = workers;
   options.verify_vectors = verify ? 128 : 0;
   options.use_cache = use_cache;
+  options.search_threads = search_threads;
 
   std::printf("batch: %zu jobs (%zu circuits x %zu systems), k=%d, "
               "%d workers, cache %s\n",
@@ -118,6 +138,18 @@ int run_batch_mode(const std::string& system_name, int k, int workers,
                 !verify           ? "-"
                 : job.verified    ? "ok"
                                   : "FAILED");
+    if (profile) print_profile(job.stats, "             ");
+  }
+  if (profile) {
+    std::printf("\nsearch engine: %llu selects, %llu candidates evaluated, "
+                "%llu pruned, %llu memo hits, %llu memo clears\n",
+                static_cast<unsigned long long>(report.search.selects),
+                static_cast<unsigned long long>(
+                    report.search.candidates_evaluated),
+                static_cast<unsigned long long>(
+                    report.search.candidates_pruned),
+                static_cast<unsigned long long>(report.search.memo_hits),
+                static_cast<unsigned long long>(report.search.memo_clears));
   }
   std::printf("\n%zu jobs in %.2fs wall on %d workers\n", report.jobs.size(),
               report.wall_seconds, report.workers);
@@ -161,7 +193,9 @@ int main(int argc, char** argv) {
   bool batch = false;
   bool use_cache = true;
   bool deterministic_json = false;
+  bool profile = false;
   int workers = runtime::default_worker_count();
+  int search_threads = 1;
   std::uint64_t seed = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -220,6 +254,18 @@ int main(int argc, char** argv) {
         return 2;
       }
       seed = static_cast<std::uint64_t>(value);
+    } else if (arg == "--search-threads" && i + 1 < argc) {
+      long value = 0;
+      if (!parse_long(argv[++i], &value) || value < 1 || value > 256) {
+        std::fprintf(stderr,
+                     "error: --search-threads expects an integer in 1..256, "
+                     "got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      search_threads = static_cast<int>(value);
+    } else if (arg == "--profile") {
+      profile = true;
     } else if (arg == "--no-verify") {
       verify = false;
     } else if (arg == "--batch") {
@@ -244,7 +290,8 @@ int main(int argc, char** argv) {
       return 2;
     }
     return run_batch_mode(system_name, k, workers, seed, verify, use_cache,
-                          json_path, csv_path, deterministic_json);
+                          json_path, csv_path, deterministic_json, profile,
+                          search_threads);
   }
   if (source.empty()) return usage();
 
@@ -297,13 +344,17 @@ int main(int argc, char** argv) {
       }
       continue;
     }
-    auto result = baseline::run_system(input, system, k, verify ? 256 : 0);
+    auto result =
+        baseline::run_system(input, system, k, verify ? 256 : 0, /*seed=*/1,
+                             /*cache=*/nullptr, /*cache_max_support=*/7,
+                             search_threads);
     std::printf("%-10s %5d LUTs", name.c_str(), result.luts);
     if (k == 5) std::printf("  %5d CLBs", result.clbs);
     std::printf("  depth %2d  %.3fs  %s\n", result.depth, result.seconds,
                 !verify          ? "unverified"
                 : result.verified ? "verified"
                                   : "VERIFY FAILED");
+    if (profile) print_profile(result.stats, "  ");
     if (verify && !result.verified) return 1;
     if (best_luts < 0 || result.luts < best_luts) {
       best_luts = result.luts;

@@ -25,7 +25,8 @@ std::string system_name(System system) {
 
 BaselineResult run_system(const net::Network& input, System system, int k,
                           int verify_vectors, std::uint64_t seed,
-                          core::DecompCache* cache, int cache_max_support) {
+                          core::DecompCache* cache, int cache_max_support,
+                          int search_threads) {
   core::FlowOptions options;
   switch (system) {
     case System::kHyde:
@@ -45,9 +46,11 @@ BaselineResult run_system(const net::Network& input, System system, int k,
   options.seed = seed;
   options.cache = cache;
   options.cache_max_support = cache_max_support;
+  options.search_threads = search_threads;
 
   const auto start = std::chrono::steady_clock::now();
   core::FlowResult flow = core::run_flow(input, options);
+  const auto map_start = std::chrono::steady_clock::now();
   mapper::dedup_shared_nodes(flow.network);
   mapper::collapse_into_fanouts(flow.network, k);
   if (system == System::kSawadaResubLike) {
@@ -57,6 +60,8 @@ BaselineResult run_system(const net::Network& input, System system, int k,
   }
   mapper::dedup_shared_nodes(flow.network);
   const auto stop = std::chrono::steady_clock::now();
+  flow.stats.mapping_seconds +=
+      std::chrono::duration<double>(stop - map_start).count();
 
   BaselineResult result;
   result.stats = flow.stats;

@@ -42,9 +42,12 @@ std::string system_name(System system);
 /// \p cache optionally shares NPN-memoized decompositions across runs (see
 /// core/decomp_cache.hpp; the runtime's batch scheduler passes one cache to
 /// every job).
+/// \p search_threads parallelizes candidate bound-set evaluation *inside*
+/// the flow (decomp/search.hpp) — result-identical at any value; keep 1
+/// when many flows already run concurrently on a batch worker pool.
 BaselineResult run_system(const net::Network& input, System system, int k,
                           int verify_vectors = 256, std::uint64_t seed = 1,
                           core::DecompCache* cache = nullptr,
-                          int cache_max_support = 7);
+                          int cache_max_support = 7, int search_threads = 1);
 
 }  // namespace hyde::baseline

@@ -34,6 +34,10 @@
 #include "decomp/step.hpp"
 #include "decomp/varpart.hpp"
 
+namespace hyde::decomp {
+class BoundSetSearch;
+}  // namespace hyde::decomp
+
 namespace hyde::core {
 
 struct EncoderOptions {
@@ -43,6 +47,11 @@ struct EncoderOptions {
   /// Weight of the same-column-set tearing penalty in the row benefit; the
   /// paper subtracts the matched Gc edge weight (factor 1).
   double tear_penalty_scale = 1.0;
+  /// Optional bound-set search engine for Step 3 (must be bound to the same
+  /// manager the encoder runs in). Null falls back to the one-shot
+  /// select_bound_set; either way the selected λ' is identical — the engine
+  /// only adds memo reuse across the flow's repeated searches.
+  decomp::BoundSetSearch* search = nullptr;
 };
 
 /// One Psc record of the Figure 4 table.

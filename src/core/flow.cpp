@@ -1,6 +1,7 @@
 #include "core/flow.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <set>
 #include <stdexcept>
@@ -18,6 +19,20 @@ int bits_for(int n) {
   int bits = 0;
   while ((1 << bits) < n) ++bits;
   return bits;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+decomp::SearchOptions search_options_from(const FlowOptions& options) {
+  decomp::SearchOptions s;
+  s.threads = options.search_threads;
+  s.use_memo = options.search_memo;
+  s.use_pruning = options.search_pruning;
+  s.memo_capacity = options.search_memo_capacity;
+  return s;
 }
 
 /// Digest of every FlowOptions knob that shapes a cached template
@@ -52,7 +67,14 @@ class Decomposer {
         cache_ceiling_(cache_ceiling >= 0
                            ? cache_ceiling
                            : std::min(options.cache_max_support,
-                                      tt::kMaxExactNpnVars)) {}
+                                      tt::kMaxExactNpnVars)),
+        search_(gm, search_options_from(options)) {}
+
+  /// The flow-lifetime bound-set search engine: its memo spans every
+  /// decomposition step and encoder trial over gm_. The engine's counters
+  /// are folded into FlowStats at the end of the flow (and its self-timed
+  /// seconds become the varpart phase).
+  decomp::BoundSetSearch& search() { return search_; }
 
   /// Declares that manager variable \p var is computed by network node.
   void map_var(int var, net::NodeId node) { var_node_[var] = node; }
@@ -92,7 +114,9 @@ class Decomposer {
         static_cast<int>(preferred.size()) <= options_.k &&
         preferred.size() < support.size()) {
       decomp::DecompSpec spec = make_spec(f, support, preferred);
+      const auto classes_start = std::chrono::steady_clock::now();
       const int classes = decomp::count_compatible_classes(spec, options_.dc_policy);
+      stats_.classes_seconds += seconds_since(classes_start);
       if (bits_for(classes) < static_cast<int>(preferred.size())) {
         vp.success = true;
         vp.bound = preferred;
@@ -117,7 +141,7 @@ class Decomposer {
         vp_options.dc_policy = options_.dc_policy;
         vp_options.require_nontrivial = true;
         if (!options_.ppi_hard_mu) vp_options.avoid = ppi_vars_;
-        vp = decomp::select_bound_set(gm_, f, candidates, vp_options);
+        vp = search_.select(f, candidates, vp_options);
         if (vp.success && candidates.size() != support.size()) {
           // Re-derive the free set over the full support.
           vp.free.clear();
@@ -136,7 +160,9 @@ class Decomposer {
     spec.f = f;
     spec.bound = vp.bound;
     spec.free = vp.free;
+    const auto classes_start = std::chrono::steady_clock::now();
     const auto classes = decomp::compute_compatible_classes(spec, options_.dc_policy);
+    stats_.classes_seconds += seconds_since(classes_start);
     if (classes.num_classes() == 1) {
       // The function does not truly depend on the bound set.
       return decompose(classes.classes[0].function);
@@ -148,6 +174,10 @@ class Decomposer {
 
     decomp::Encoding encoding;
     std::vector<int> lambda_hint;
+    // Encoder wall time is booked net of the nested bound-set searches the
+    // encoder triggers (those are varpart time, self-timed by the engine).
+    const double search_before = search_.stats().seconds;
+    const auto encode_start = std::chrono::steady_clock::now();
     if (options_.encoding == EncodingPolicy::kCompatibleClass) {
       ++stats_.encoder_runs;
       EncoderOptions enc_options;
@@ -155,6 +185,7 @@ class Decomposer {
       enc_options.seed = options_.seed + static_cast<std::uint64_t>(
                                              stats_.decomposition_steps);
       enc_options.dc_policy = options_.dc_policy;
+      enc_options.search = &search_;
       EncodingChoice choice =
           encode_classes(gm_, classes, vp.free, alpha_vars, enc_options);
       encoding = choice.encoding;
@@ -169,6 +200,8 @@ class Decomposer {
           classes.num_classes(),
           options_.seed + static_cast<std::uint64_t>(stats_.decomposition_steps));
     }
+    stats_.encoding_seconds += seconds_since(encode_start) -
+                               (search_.stats().seconds - search_before);
 
     const auto step = decomp::build_step(gm_, classes, vp.bound, vp.free,
                                          encoding, alpha_vars);
@@ -255,8 +288,12 @@ class Decomposer {
     entry.stats.encoder_random_kept = sub_stats.encoder_random_kept;
     // Kernel counters go straight to this flow's totals, not into the shared
     // template: replaying a cached template costs no BDD work, so charging
-    // them per-hit would fabricate work that only the miss performed.
+    // them per-hit would fabricate work that only the miss performed. Search
+    // counters and phase timings follow the same policy — they are volatile,
+    // so the deterministic cached entry.stats never carries them.
     stats_.absorb_bdd_stats(tm.stats());
+    sub_stats.absorb_search_stats(sub.search().stats());
+    stats_.absorb_search_and_phases(sub_stats);
     return entry;
   }
 
@@ -413,6 +450,7 @@ class Decomposer {
   std::vector<int> ppi_vars_;
   int next_var_ = 0;
   int cache_ceiling_ = 0;
+  decomp::BoundSetSearch search_;
 };
 
 /// Greedy support-overlap grouping of primary outputs for hyper-functions.
@@ -467,9 +505,15 @@ std::vector<net::NodeId> run_hyper_group_raw(
   enc_options.k = options.k;
   enc_options.seed = options.seed;
   enc_options.dc_policy = options.dc_policy;
+  enc_options.search = &decomposer.search();
+  const double search_before = decomposer.search().stats().seconds;
+  const auto encode_start = std::chrono::steady_clock::now();
   const HyperFunction hyper = build_hyper_function(
       gm, ingredients, input_vars, ppi_vars, enc_options,
       options.encoding == EncodingPolicy::kCompatibleClass);
+  stats.encoding_seconds +=
+      seconds_since(encode_start) -
+      (decomposer.search().stats().seconds - search_before);
   ++stats.hyper_groups;
   if (options.encoding == EncodingPolicy::kCompatibleClass) {
     ++stats.encoder_runs;
@@ -541,6 +585,7 @@ FlowResult run_flow(const net::Network& input, const FlowOptions& options,
     next.stats.bdd_peak_live_nodes =
         std::max(next.stats.bdd_peak_live_nodes,
                  result.stats.bdd_peak_live_nodes);
+    next.stats.absorb_search_and_phases(result.stats);
     result = std::move(next);
   }
   return result;
@@ -753,6 +798,7 @@ FlowResult run_flow_once(const net::Network& input, const FlowOptions& options,
   out.sweep();
   out.drop_unused_inputs(ppi_nodes);
   stats.absorb_bdd_stats(gm.stats());
+  stats.absorb_search_stats(decomposer.search().stats());
   return result;
 }
 }  // namespace

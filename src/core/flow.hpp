@@ -23,6 +23,7 @@
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -30,6 +31,7 @@
 #include "bdd/bdd.hpp"
 #include "core/decomp_cache.hpp"
 #include "core/encoder.hpp"
+#include "decomp/search.hpp"
 #include "core/hyper.hpp"
 #include "net/network.hpp"
 
@@ -70,6 +72,21 @@ struct FlowOptions {
   /// Functions with support in (k, cache_max_support] go through the cache;
   /// capped at tt::kMaxExactNpnVars by the canonicalizer.
   int cache_max_support = 7;
+
+  // Bound-set search engine knobs (decomp/search.hpp). All three are
+  // result-neutral — they change how fast the greedy search converges,
+  // never which bound sets (hence which network) it produces — so they are
+  // deliberately excluded from the NPN-cache fingerprint.
+  /// Threads evaluating candidate bound sets inside one flow. Keep at 1 when
+  /// flows themselves run on a batch worker pool; raise for single large
+  /// flows.
+  int search_threads = 1;
+  /// Memoize chart column counts across the flow's repeated searches.
+  bool search_memo = true;
+  /// Abandon candidate charts once they exceed the incumbent column count.
+  bool search_pruning = true;
+  /// Memo entry cap before a wholesale clear.
+  std::size_t search_memo_capacity = std::size_t{1} << 14;
 };
 
 /// Flow outcome counters (area is the post-sweep logic node count; the
@@ -95,6 +112,25 @@ struct FlowStats {
   std::uint64_t bdd_gc_runs = 0;
   std::uint64_t bdd_peak_live_nodes = 0;  ///< max over managers, not a sum
 
+  // Bound-set search engine counters (decomp/search.hpp). Volatile like the
+  // bdd_* block: pruning depth and memo contents depend on evaluation order
+  // and thread count, so these only appear in volatile report sections.
+  std::uint64_t search_selects = 0;
+  std::uint64_t search_candidates_evaluated = 0;
+  std::uint64_t search_candidates_pruned = 0;
+  std::uint64_t search_memo_hits = 0;
+  std::uint64_t search_memo_clears = 0;
+
+  // Per-phase wall-clock breakdown (volatile; seconds). varpart is the
+  // bound-set search engine's self-timed total, classes covers
+  // compatible-class computation, encoding is encoder wall time net of the
+  // nested bound-set searches it triggers, mapping is filled in by the
+  // baseline mapper after the flow proper.
+  double varpart_seconds = 0.0;
+  double classes_seconds = 0.0;
+  double encoding_seconds = 0.0;
+  double mapping_seconds = 0.0;
+
   /// Folds one manager's counters into the flow totals.
   void absorb_bdd_stats(const bdd::ManagerStats& s) {
     bdd_cache_hits += s.cache_hits;
@@ -104,6 +140,31 @@ struct FlowStats {
     if (s.peak_live_nodes > bdd_peak_live_nodes) {
       bdd_peak_live_nodes = s.peak_live_nodes;
     }
+  }
+
+  /// Folds one search engine's counters into the flow totals; the engine's
+  /// self-timed wall clock is the varpart phase.
+  void absorb_search_stats(const decomp::SearchStats& s) {
+    search_selects += s.selects;
+    search_candidates_evaluated += s.candidates_evaluated;
+    search_candidates_pruned += s.candidates_pruned;
+    search_memo_hits += s.memo_hits;
+    search_memo_clears += s.memo_clears;
+    varpart_seconds += s.seconds;
+  }
+
+  /// Folds another flow's search counters and phase timings into this one
+  /// (multi-pass accumulation, NPN-template sub-flows).
+  void absorb_search_and_phases(const FlowStats& s) {
+    search_selects += s.search_selects;
+    search_candidates_evaluated += s.search_candidates_evaluated;
+    search_candidates_pruned += s.search_candidates_pruned;
+    search_memo_hits += s.search_memo_hits;
+    search_memo_clears += s.search_memo_clears;
+    varpart_seconds += s.varpart_seconds;
+    classes_seconds += s.classes_seconds;
+    encoding_seconds += s.encoding_seconds;
+    mapping_seconds += s.mapping_seconds;
   }
 };
 

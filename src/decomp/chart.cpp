@@ -48,10 +48,13 @@ struct CutChart {
   std::int64_t root = 0;
   int cut_level = 0;
   std::vector<int> var_map;  // source var -> cut level (-1 = unused)
+  int max_columns = 0;   ///< abandon once columns.size() exceeds this (0 = off)
+  bool aborted = false;  ///< traversal stopped early; columns is a prefix
 
-  explicit CutChart(const DecompSpec& spec)
+  explicit CutChart(const DecompSpec& spec, int max_columns_limit = 0)
       : cut_mgr(static_cast<int>(spec.bound.size() + spec.free.size())),
-        cut_level(static_cast<int>(spec.bound.size())) {
+        cut_level(static_cast<int>(spec.bound.size())),
+        max_columns(max_columns_limit) {
     bdd::Manager& src = *spec.mgr;
     var_map.assign(static_cast<std::size_t>(src.num_vars()), -1);
     int next = 0;
@@ -83,7 +86,16 @@ struct CutChart {
     const std::uint64_t key = pattern_key(f_on, f_dc);
     if (below_cut(f_on) && below_cut(f_dc)) {
       auto [it, inserted] = column_memo_.emplace(key, columns.size());
-      if (inserted) columns.emplace_back(f_on, f_dc);
+      if (inserted) {
+        columns.emplace_back(f_on, f_dc);
+        // Early exit: one column past the threshold proves the candidate
+        // cannot beat the incumbent, so the rest of the chart is moot. The
+        // pair graph is left half-built — bounded charts are count-only.
+        if (max_columns > 0 &&
+            static_cast<int>(columns.size()) > max_columns) {
+          aborted = true;
+        }
+      }
       return ~static_cast<std::int64_t>(it->second);
     }
     if (auto it = pair_memo_.find(key); it != pair_memo_.end()) {
@@ -100,8 +112,9 @@ struct CutChart {
       return hi ? g.high() : g.low();
     };
     const std::int64_t lo = visit(child(f_on, false), child(f_dc, false));
-    const std::int64_t hi = visit(child(f_on, true), child(f_dc, true));
     internals[idx].lo = lo;
+    if (aborted) return static_cast<std::int64_t>(idx);
+    const std::int64_t hi = visit(child(f_on, true), child(f_dc, true));
     internals[idx].hi = hi;
     return static_cast<std::int64_t>(idx);
   }
@@ -263,6 +276,14 @@ int count_columns_via_cut(const DecompSpec& spec) {
     throw std::invalid_argument("DecompSpec: null manager");
   }
   return static_cast<int>(CutChart(spec).columns.size());
+}
+
+BoundedCount count_columns_bounded(const DecompSpec& spec, int max_columns) {
+  if (spec.mgr == nullptr) {
+    throw std::invalid_argument("DecompSpec: null manager");
+  }
+  const CutChart chart(spec, max_columns > 0 ? max_columns : 0);
+  return BoundedCount{static_cast<int>(chart.columns.size()), chart.aborted};
 }
 
 int count_columns(const DecompSpec& spec) {

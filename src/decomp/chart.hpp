@@ -85,6 +85,22 @@ int count_columns_recursive(const DecompSpec& spec);
 /// count_columns this places no limit on the bound-set size.
 int count_columns_via_cut(const DecompSpec& spec);
 
+/// Outcome of a bounded column count. When `pruned` is set the cut traversal
+/// was abandoned early and `count` is a *lower bound* on the true column
+/// count (columns are only ever discovered, never retracted, as the
+/// traversal proceeds); otherwise `count` is exact.
+struct BoundedCount {
+  int count = 0;
+  bool pruned = false;
+};
+
+/// count_columns_via_cut with an early-exit threshold: the pair-graph
+/// traversal stops as soon as more than \p max_columns distinct columns have
+/// been discovered, so candidate bound sets that are already worse than an
+/// incumbent cost the search engine only a prefix of the full enumeration.
+/// max_columns <= 0 means unlimited (identical to count_columns_via_cut).
+BoundedCount count_columns_bounded(const DecompSpec& spec, int max_columns);
+
 /// Builds the BDD cube for an assignment to the given variables
 /// (bit i of \p minterm corresponds to vars[i]).
 bdd::Bdd minterm_cube(bdd::Manager& mgr, const std::vector<int>& vars,

@@ -1,95 +1,18 @@
 #include "decomp/varpart.hpp"
 
-#include <algorithm>
-#include <stdexcept>
+#include "decomp/search.hpp"
 
 namespace hyde::decomp {
-
-namespace {
-
-int column_cost(bdd::Manager& mgr, const IsfBdd& f,
-                const std::vector<int>& support, const std::vector<int>& bound,
-                bool use_cut_method) {
-  DecompSpec spec;
-  spec.mgr = &mgr;
-  spec.f = f;
-  spec.bound = bound;
-  for (int v : support) {
-    if (std::find(bound.begin(), bound.end(), v) == bound.end()) {
-      spec.free.push_back(v);
-    }
-  }
-  return use_cut_method ? count_columns_via_cut(spec) : count_columns(spec);
-}
-
-}  // namespace
 
 VarPartitionResult select_bound_set(bdd::Manager& mgr, const IsfBdd& f,
                                     const std::vector<int>& support,
                                     const VarPartitionOptions& options) {
-  VarPartitionResult result;
-  if (options.bound_size <= 0 ||
-      options.bound_size > static_cast<int>(support.size())) {
-    return result;  // no valid partition
-  }
-  if (options.bound_size > kMaxBoundVars) {
-    throw std::invalid_argument("select_bound_set: bound size too large");
-  }
-
-  std::vector<int> preferred, avoided;
-  for (int v : support) {
-    if (std::find(options.avoid.begin(), options.avoid.end(), v) !=
-        options.avoid.end()) {
-      avoided.push_back(v);
-    } else {
-      preferred.push_back(v);
-    }
-  }
-
-  // Greedy growth: add the candidate minimizing the column count; avoided
-  // variables are considered only once the preferred pool is exhausted.
-  std::vector<int> bound;
-  while (static_cast<int>(bound.size()) < options.bound_size) {
-    const std::vector<int>& pool =
-        !preferred.empty() ? preferred : avoided;
-    if (pool.empty()) break;
-    int best_var = -1;
-    int best_cost = 0;
-    for (int v : pool) {
-      std::vector<int> candidate = bound;
-      candidate.push_back(v);
-      const int cost =
-          column_cost(mgr, f, support, candidate, options.use_cut_method);
-      if (best_var < 0 || cost < best_cost ||
-          (cost == best_cost && v < best_var)) {
-        best_var = v;
-        best_cost = cost;
-      }
-    }
-    bound.push_back(best_var);
-    auto& chosen_pool = !preferred.empty() ? preferred : avoided;
-    chosen_pool.erase(std::find(chosen_pool.begin(), chosen_pool.end(), best_var));
-  }
-  std::sort(bound.begin(), bound.end());
-
-  DecompSpec spec;
-  spec.mgr = &mgr;
-  spec.f = f;
-  spec.bound = bound;
-  for (int v : support) {
-    if (std::find(bound.begin(), bound.end(), v) == bound.end()) {
-      spec.free.push_back(v);
-    }
-  }
-  result.bound = spec.bound;
-  result.free = spec.free;
-  result.num_classes = count_compatible_classes(spec, options.dc_policy);
-  result.success = true;
-  if (options.require_nontrivial &&
-      result.code_bits() >= static_cast<int>(result.bound.size())) {
-    result.success = false;
-  }
-  return result;
+  // One-shot serial engine: same greedy growth and tie-breaks as the
+  // historical in-place loop, now shared with the memoized/parallel search
+  // (see search.hpp for the equivalence argument). Callers that want memo
+  // reuse across selects hold a BoundSetSearch of their own.
+  BoundSetSearch search(mgr, SearchOptions{});
+  return search.select(f, support, options);
 }
 
 }  // namespace hyde::decomp

@@ -55,7 +55,7 @@ RunReport run_batch(const std::vector<BatchJob>& jobs,
           const net::Network input = mcnc::make_circuit(job.circuit);
           const baseline::BaselineResult result = baseline::run_system(
               input, job.system, job.k, options.verify_vectors, job.seed,
-              shared_cache, options.cache_max_support);
+              shared_cache, options.cache_max_support, options.search_threads);
           out.luts = result.luts;
           out.clbs = result.clbs;
           out.depth = result.depth;
@@ -85,6 +85,11 @@ RunReport run_batch(const std::vector<BatchJob>& jobs,
     if (job.stats.bdd_peak_live_nodes > report.bdd.peak_live_nodes) {
       report.bdd.peak_live_nodes = job.stats.bdd_peak_live_nodes;
     }
+    report.search.selects += job.stats.search_selects;
+    report.search.candidates_evaluated += job.stats.search_candidates_evaluated;
+    report.search.candidates_pruned += job.stats.search_candidates_pruned;
+    report.search.memo_hits += job.stats.search_memo_hits;
+    report.search.memo_clears += job.stats.search_memo_clears;
   }
   report.cache.unique_functions = cache.size();
   const NpnCacheCounters counters = cache.counters();

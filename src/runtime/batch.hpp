@@ -38,6 +38,10 @@ struct BatchOptions {
   int verify_vectors = 128; ///< random-vector equivalence check per job (0 = off)
   bool use_cache = true;    ///< share an NpnResultCache across all jobs
   int cache_max_support = 7;
+  /// Intra-flow bound-set search threads per job (decomp/search.hpp).
+  /// Result-identical at any value; the default 1 avoids oversubscribing the
+  /// batch worker pool. Total threads ~= workers * search_threads.
+  int search_threads = 1;
 };
 
 /// Number of workers to use when the caller has no preference: the hardware

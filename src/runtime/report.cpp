@@ -61,6 +61,15 @@ std::string to_json(const RunReport& report, bool include_volatile) {
     out += ", \"peak_live_nodes\": " +
            std::to_string(report.bdd.peak_live_nodes);
     out += "},\n";
+    out += "  \"search\": {";
+    out += "\"selects\": " + std::to_string(report.search.selects);
+    out += ", \"candidates_evaluated\": " +
+           std::to_string(report.search.candidates_evaluated);
+    out += ", \"candidates_pruned\": " +
+           std::to_string(report.search.candidates_pruned);
+    out += ", \"memo_hits\": " + std::to_string(report.search.memo_hits);
+    out += ", \"memo_clears\": " + std::to_string(report.search.memo_clears);
+    out += "},\n";
   }
   out += "  \"cache\": {\n";
   out += std::string("    \"enabled\": ") +
@@ -121,6 +130,26 @@ std::string to_json(const RunReport& report, bool include_volatile) {
       out += ", \"peak_live_nodes\": " +
              std::to_string(job.stats.bdd_peak_live_nodes);
       out += "}";
+      out += ",\n      \"search\": {";
+      out += "\"selects\": " + std::to_string(job.stats.search_selects);
+      out += ", \"candidates_evaluated\": " +
+             std::to_string(job.stats.search_candidates_evaluated);
+      out += ", \"candidates_pruned\": " +
+             std::to_string(job.stats.search_candidates_pruned);
+      out += ", \"memo_hits\": " + std::to_string(job.stats.search_memo_hits);
+      out += ", \"memo_clears\": " +
+             std::to_string(job.stats.search_memo_clears);
+      out += "}";
+      out += ",\n      \"profile\": {";
+      out += "\"varpart_seconds\": " +
+             format_double(job.stats.varpart_seconds);
+      out += ", \"classes_seconds\": " +
+             format_double(job.stats.classes_seconds);
+      out += ", \"encoding_seconds\": " +
+             format_double(job.stats.encoding_seconds);
+      out += ", \"mapping_seconds\": " +
+             format_double(job.stats.mapping_seconds);
+      out += "}";
     }
     out += "\n    }";
     out += i + 1 < report.jobs.size() ? ",\n" : "\n";
@@ -135,7 +164,9 @@ std::string to_csv(const RunReport& report) {
       "circuit,system,k,seed,luts,clbs,depth,verified,error,"
       "decomposition_steps,shannon_fallbacks,hyper_groups,encoder_runs,"
       "encoder_random_kept,collapse_mode,cache_lookups,seconds,"
-      "bdd_cache_hits,bdd_cache_misses,bdd_gc_runs,bdd_peak_live_nodes\n";
+      "bdd_cache_hits,bdd_cache_misses,bdd_gc_runs,bdd_peak_live_nodes,"
+      "search_selects,search_evaluated,search_pruned,search_memo_hits,"
+      "varpart_seconds,classes_seconds,encoding_seconds,mapping_seconds\n";
   for (const JobReport& job : report.jobs) {
     out += job.circuit + "," + job.system + "," + std::to_string(job.k) + "," +
            std::to_string(job.seed) + "," + std::to_string(job.luts) + "," +
@@ -152,7 +183,15 @@ std::string to_csv(const RunReport& report) {
            std::to_string(job.stats.bdd_cache_hits) + "," +
            std::to_string(job.stats.bdd_cache_misses) + "," +
            std::to_string(job.stats.bdd_gc_runs) + "," +
-           std::to_string(job.stats.bdd_peak_live_nodes) + "\n";
+           std::to_string(job.stats.bdd_peak_live_nodes) + "," +
+           std::to_string(job.stats.search_selects) + "," +
+           std::to_string(job.stats.search_candidates_evaluated) + "," +
+           std::to_string(job.stats.search_candidates_pruned) + "," +
+           std::to_string(job.stats.search_memo_hits) + "," +
+           format_double(job.stats.varpart_seconds) + "," +
+           format_double(job.stats.classes_seconds) + "," +
+           format_double(job.stats.encoding_seconds) + "," +
+           format_double(job.stats.mapping_seconds) + "\n";
   }
   return out;
 }

@@ -76,11 +76,23 @@ struct BddKernelReport {
   }
 };
 
+/// Aggregated bound-set search engine figures for the whole batch (all
+/// volatile: pruning depth and memo hit patterns move with evaluation order
+/// and thread count, even though the selected bound sets never do).
+struct SearchReport {
+  std::uint64_t selects = 0;
+  std::uint64_t candidates_evaluated = 0;
+  std::uint64_t candidates_pruned = 0;
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_clears = 0;
+};
+
 struct RunReport {
   int verify_vectors = 0;
   std::vector<JobReport> jobs;  ///< submission order, independent of finish order
   CacheReport cache;
   BddKernelReport bdd;       ///< volatile
+  SearchReport search;       ///< volatile
   int workers = 1;           ///< volatile
   double wall_seconds = 0.0;  ///< volatile
 

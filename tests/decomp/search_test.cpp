@@ -1,0 +1,344 @@
+/// \file search_test.cpp
+/// \brief Bound-set search engine correctness: bounded (pruned) column
+/// counting against the recursive reference, and bit-identical selection
+/// across every engine configuration (memo on/off, pruning on/off, serial
+/// vs parallel) and against a verbatim copy of the historical greedy loop.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "core/encoder.hpp"
+#include "decomp/search.hpp"
+#include "decomp/step.hpp"
+#include "tt/truth_table.hpp"
+
+namespace hyde::decomp {
+namespace {
+
+using hyde::bdd::Bdd;
+using hyde::bdd::Manager;
+using hyde::tt::TruthTable;
+
+Bdd random_bdd(Manager& mgr, int num_vars, std::mt19937_64& rng) {
+  const TruthTable table = TruthTable::from_lambda(
+      num_vars, [&rng](std::uint64_t) { return (rng() & 1) != 0; });
+  return mgr.from_truth_table(table);
+}
+
+/// Verbatim re-implementation of the historical select_bound_set greedy loop
+/// (pre-engine): evaluates every candidate from scratch with an exact count.
+/// The engine must reproduce this bit for bit in every configuration.
+VarPartitionResult legacy_select(Manager& mgr, const IsfBdd& f,
+                                 const std::vector<int>& support,
+                                 const VarPartitionOptions& options) {
+  VarPartitionResult result;
+  if (options.bound_size <= 0 ||
+      options.bound_size > static_cast<int>(support.size())) {
+    return result;
+  }
+  std::vector<int> preferred, avoided;
+  for (int v : support) {
+    if (std::find(options.avoid.begin(), options.avoid.end(), v) !=
+        options.avoid.end()) {
+      avoided.push_back(v);
+    } else {
+      preferred.push_back(v);
+    }
+  }
+  std::vector<int> bound;
+  while (static_cast<int>(bound.size()) < options.bound_size) {
+    std::vector<int>& pool = !preferred.empty() ? preferred : avoided;
+    if (pool.empty()) break;
+    int best_var = -1;
+    int best_cost = 0;
+    for (int v : pool) {
+      DecompSpec spec;
+      spec.mgr = &mgr;
+      spec.f = f;
+      spec.bound = bound;
+      spec.bound.push_back(v);
+      for (int s : support) {
+        if (std::find(spec.bound.begin(), spec.bound.end(), s) ==
+            spec.bound.end()) {
+          spec.free.push_back(s);
+        }
+      }
+      const int cost = options.use_cut_method ? count_columns_via_cut(spec)
+                                              : count_columns(spec);
+      if (best_var < 0 || cost < best_cost ||
+          (cost == best_cost && v < best_var)) {
+        best_var = v;
+        best_cost = cost;
+      }
+    }
+    bound.push_back(best_var);
+    pool.erase(std::find(pool.begin(), pool.end(), best_var));
+  }
+  std::sort(bound.begin(), bound.end());
+  DecompSpec spec;
+  spec.mgr = &mgr;
+  spec.f = f;
+  spec.bound = bound;
+  for (int v : support) {
+    if (std::find(bound.begin(), bound.end(), v) == bound.end()) {
+      spec.free.push_back(v);
+    }
+  }
+  result.bound = spec.bound;
+  result.free = spec.free;
+  result.num_classes = count_compatible_classes(spec, options.dc_policy);
+  result.success = true;
+  if (options.require_nontrivial &&
+      result.code_bits() >= static_cast<int>(result.bound.size())) {
+    result.success = false;
+  }
+  return result;
+}
+
+void expect_same_result(const VarPartitionResult& a,
+                        const VarPartitionResult& b, const char* what) {
+  EXPECT_EQ(a.success, b.success) << what;
+  EXPECT_EQ(a.bound, b.bound) << what;
+  EXPECT_EQ(a.free, b.free) << what;
+  EXPECT_EQ(a.num_classes, b.num_classes) << what;
+}
+
+TEST(BoundedCountTest, ExactWhenThresholdNotExceeded) {
+  std::mt19937_64 rng(61);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = 4 + static_cast<int>(rng() % 5);  // 4..8 variables
+    Manager mgr(n);
+    const Bdd on = random_bdd(mgr, n, rng);
+    const Bdd dc = random_bdd(mgr, n, rng) & ~on;
+    const int bound_size = 1 + static_cast<int>(rng() % (n - 1));
+    DecompSpec spec;
+    spec.mgr = &mgr;
+    spec.f = IsfBdd{on, dc};
+    for (int v = 0; v < n; ++v) {
+      (v < bound_size ? spec.bound : spec.free).push_back(v);
+    }
+    const int exact = count_columns_recursive(spec);
+    // Unlimited and at-threshold counts are exact and unpruned.
+    const BoundedCount unlimited = count_columns_bounded(spec, 0);
+    EXPECT_FALSE(unlimited.pruned);
+    EXPECT_EQ(unlimited.count, exact);
+    const BoundedCount at = count_columns_bounded(spec, exact);
+    EXPECT_FALSE(at.pruned);
+    EXPECT_EQ(at.count, exact);
+    const BoundedCount above = count_columns_bounded(spec, exact + 3);
+    EXPECT_FALSE(above.pruned);
+    EXPECT_EQ(above.count, exact);
+  }
+}
+
+TEST(BoundedCountTest, PrunedCountIsALowerBoundPastTheThreshold) {
+  std::mt19937_64 rng(62);
+  int pruned_seen = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = 5 + static_cast<int>(rng() % 4);  // 5..8 variables
+    Manager mgr(n);
+    const Bdd on = random_bdd(mgr, n, rng);
+    const int bound_size = 2 + static_cast<int>(rng() % (n - 2));
+    DecompSpec spec;
+    spec.mgr = &mgr;
+    spec.f = IsfBdd{on, mgr.zero()};
+    for (int v = 0; v < n; ++v) {
+      (v < bound_size ? spec.bound : spec.free).push_back(v);
+    }
+    const int exact = count_columns_recursive(spec);
+    for (int threshold = 1; threshold < exact; ++threshold) {
+      const BoundedCount bc = count_columns_bounded(spec, threshold);
+      ASSERT_TRUE(bc.pruned) << "threshold " << threshold << " exact " << exact;
+      // The traversal stops right after proving the threshold is beaten.
+      EXPECT_EQ(bc.count, threshold + 1);
+      ++pruned_seen;
+    }
+  }
+  EXPECT_GT(pruned_seen, 0);  // the loop actually exercised pruning
+}
+
+TEST(BoundSetSearchTest, AllConfigurationsMatchTheLegacyGreedy) {
+  std::mt19937_64 rng(63);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 6 + static_cast<int>(rng() % 3);  // 6..8 variables
+    Manager mgr(n);
+    const Bdd on = random_bdd(mgr, n, rng);
+    const Bdd dc = random_bdd(mgr, n, rng) & ~on;
+    const IsfBdd f{on, dc};
+    const std::vector<int> support = mgr.support(on | dc);
+    if (static_cast<int>(support.size()) < 4) continue;
+
+    VarPartitionOptions options;
+    options.bound_size = 3 + static_cast<int>(rng() % 2);
+    options.require_nontrivial = (rng() & 1) != 0;
+    if ((rng() & 1) != 0) options.avoid = {support[0], support[1]};
+
+    const VarPartitionResult reference =
+        legacy_select(mgr, f, support, options);
+
+    const SearchOptions configs[] = {
+        {.threads = 1, .use_memo = false, .use_pruning = false},
+        {.threads = 1, .use_memo = false, .use_pruning = true},
+        {.threads = 1, .use_memo = true, .use_pruning = false},
+        {.threads = 1, .use_memo = true, .use_pruning = true},
+        {.threads = 2, .use_memo = true, .use_pruning = true,
+         .min_parallel_candidates = 2},
+        {.threads = 4, .use_memo = false, .use_pruning = true,
+         .min_parallel_candidates = 2},
+    };
+    for (const SearchOptions& config : configs) {
+      BoundSetSearch engine(mgr, config);
+      expect_same_result(engine.select(f, support, options), reference,
+                         "single select");
+      // A second select over the same inputs must serve from the memo (when
+      // enabled) and still agree.
+      expect_same_result(engine.select(f, support, options), reference,
+                         "repeat select");
+      if (config.use_memo) {
+        EXPECT_GT(engine.stats().memo_hits, 0u);
+      }
+    }
+  }
+}
+
+TEST(BoundSetSearchTest, RecursiveReferencePathMatchesLegacy) {
+  std::mt19937_64 rng(64);
+  Manager mgr(6);
+  const Bdd on = random_bdd(mgr, 6, rng);
+  const IsfBdd f{on, mgr.zero()};
+  const std::vector<int> support = mgr.support(on);
+  VarPartitionOptions options;
+  options.bound_size = 3;
+  options.use_cut_method = false;  // exercise the 2^|bound| reference
+  BoundSetSearch engine(mgr, SearchOptions{});
+  expect_same_result(engine.select(f, support, options),
+                     legacy_select(mgr, f, support, options), "recursive ref");
+  EXPECT_EQ(engine.memo_size(), 0u);  // the reference path is never memoized
+}
+
+TEST(BoundSetSearchTest, ShrinkingBoundSizeReplaysThePrefixFromTheMemo) {
+  // The flow re-searches from size k down to 2 when a partition is trivial;
+  // the greedy prefix of a smaller size is a subsequence of the larger one,
+  // so the second select must be served largely from the memo.
+  std::mt19937_64 rng(65);
+  Manager mgr(8);
+  const Bdd on = random_bdd(mgr, 8, rng);
+  const IsfBdd f{on, mgr.zero()};
+  const std::vector<int> support = mgr.support(on);
+  ASSERT_GE(support.size(), 5u);
+
+  BoundSetSearch engine(mgr, SearchOptions{});
+  VarPartitionOptions options;
+  options.bound_size = 4;
+  options.require_nontrivial = false;
+  const auto at4 = engine.select(f, support, options);
+  const std::uint64_t hits_before = engine.stats().memo_hits;
+  options.bound_size = 3;
+  const auto at3 = engine.select(f, support, options);
+  EXPECT_GT(engine.stats().memo_hits, hits_before);
+  // The greedy prefix is shared: the size-3 bound set is a subset of size-4.
+  for (int v : at3.bound) {
+    EXPECT_NE(std::find(at4.bound.begin(), at4.bound.end(), v),
+              at4.bound.end());
+  }
+}
+
+TEST(BoundSetSearchTest, MemoClearsWhenOverCapacityAndStaysCorrect) {
+  std::mt19937_64 rng(66);
+  Manager mgr(7);
+  SearchOptions config;
+  config.memo_capacity = 8;  // force clears on every sweep
+  BoundSetSearch engine(mgr, config);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Bdd on = random_bdd(mgr, 7, rng);
+    const IsfBdd f{on, mgr.zero()};
+    const std::vector<int> support = mgr.support(on);
+    if (static_cast<int>(support.size()) < 4) continue;
+    VarPartitionOptions options;
+    options.bound_size = 3;
+    expect_same_result(engine.select(f, support, options),
+                       legacy_select(mgr, f, support, options), "tiny memo");
+    EXPECT_LE(engine.memo_size(), config.memo_capacity);
+  }
+  EXPECT_GT(engine.stats().memo_clears, 0u);
+}
+
+TEST(BoundSetSearchTest, OversizeBoundThrowsLikeLegacy) {
+  Manager mgr(2);
+  const IsfBdd f{mgr.var(0) & mgr.var(1), mgr.zero()};
+  std::vector<int> support(kMaxBoundVars + 2);
+  for (int v = 0; v < kMaxBoundVars + 2; ++v) support[v] = v;
+  VarPartitionOptions options;
+  options.bound_size = kMaxBoundVars + 1;
+  BoundSetSearch engine(mgr, SearchOptions{});
+  EXPECT_THROW(engine.select(f, support, options), std::invalid_argument);
+}
+
+TEST(BoundSetSearchTest, EncoderHookMatchesHookFreeEncoding) {
+  // encode_classes with EncoderOptions::search must produce the identical
+  // EncodingChoice (encoding, lambda hint, trace geometry) as without it.
+  std::mt19937_64 rng(67);
+  for (int trial = 0; trial < 6; ++trial) {
+    const int n = 7;
+    Manager mgr(n + 4);
+    const Bdd on = random_bdd(mgr, n, rng);
+    const IsfBdd f{on, mgr.zero()};
+    const std::vector<int> support = mgr.support(on);
+    if (static_cast<int>(support.size()) < 6) continue;
+
+    DecompSpec spec;
+    spec.mgr = &mgr;
+    spec.f = f;
+    for (std::size_t i = 0; i < support.size(); ++i) {
+      (i < 4 ? spec.bound : spec.free).push_back(support[i]);
+    }
+    const auto classes =
+        compute_compatible_classes(spec, DcPolicy::kCliquePartition);
+    if (classes.num_classes() < 3) continue;
+    std::vector<int> alpha_vars;
+    for (int j = 0; j < classes.code_bits(); ++j) alpha_vars.push_back(n + j);
+
+    core::EncoderOptions base;
+    base.k = 4;
+    base.seed = 11 + static_cast<std::uint64_t>(trial);
+    const auto plain =
+        core::encode_classes(mgr, classes, spec.free, alpha_vars, base);
+
+    BoundSetSearch engine(mgr, SearchOptions{.threads = 2,
+                                             .min_parallel_candidates = 2});
+    core::EncoderOptions hooked = base;
+    hooked.search = &engine;
+    const auto via_engine =
+        core::encode_classes(mgr, classes, spec.free, alpha_vars, hooked);
+
+    EXPECT_EQ(plain.encoding.codes, via_engine.encoding.codes);
+    EXPECT_EQ(plain.lambda_hint, via_engine.lambda_hint);
+    EXPECT_EQ(plain.trace.used_random, via_engine.trace.used_random);
+    EXPECT_EQ(plain.trace.num_rows, via_engine.trace.num_rows);
+    EXPECT_EQ(plain.trace.num_cols, via_engine.trace.num_cols);
+  }
+}
+
+TEST(BoundSetSearchTest, WrapperSelectBoundSetStillMatchesLegacy) {
+  // The free function is now a thin wrapper over a serial engine; pin its
+  // behaviour to the reference too.
+  std::mt19937_64 rng(68);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 6;
+    Manager mgr(n);
+    const Bdd on = random_bdd(mgr, n, rng);
+    const IsfBdd f{on, mgr.zero()};
+    const std::vector<int> support = mgr.support(on);
+    if (static_cast<int>(support.size()) < 4) continue;
+    VarPartitionOptions options;
+    options.bound_size = 3;
+    expect_same_result(select_bound_set(mgr, f, support, options),
+                       legacy_select(mgr, f, support, options), "wrapper");
+  }
+}
+
+}  // namespace
+}  // namespace hyde::decomp
