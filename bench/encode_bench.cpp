@@ -1,0 +1,342 @@
+/// \file encode_bench.cpp
+/// \brief Classes-and-encoding benchmark: times compatible-class computation
+/// and the Figure-3 encoder under the engine's configurations, and emits
+/// JSON rows for BENCH_encode.json.
+///
+/// The "plain" configuration is the seed code path: column compatibility by
+/// per-pair BDD disjointness (off() recomputed per pair in the seed; here the
+/// hoisted form, which is checksum-identical), clique partitioning by the
+/// recount-from-scratch reference, and a serial encoder.  The other
+/// configurations layer on the packed row-signature compatibility test, the
+/// incrementally maintained clique partitioner and the snapshot-parallel
+/// encoder Steps 4 and 8.  Every configuration of the same workload must
+/// produce the identical checksum — the harness verifies this itself and
+/// fails (exit 1) on any mismatch, so a committed BENCH_encode.json is also
+/// a functional-equivalence proof for the machine that produced it.
+///
+/// Protocol:
+///
+///     encode_bench --label=seed --out=BENCH_encode.json       (full run)
+///     encode_bench --quick                                    (CI smoke)
+///
+/// Checksums are FNV-1a mixes of the class column lists, the chosen codes
+/// and the encoder trace geometry — invariants the knobs must never change.
+/// The JSON additionally reports, per configuration, the summed seconds over
+/// all workloads and the speedup against "plain" (the combined
+/// classes+encoding phase ratio).
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "core/encoder.hpp"
+#include "decomp/compatible.hpp"
+#include "tt/truth_table.hpp"
+
+namespace {
+
+using hyde::bdd::Bdd;
+using hyde::bdd::Manager;
+using hyde::decomp::IsfBdd;
+using hyde::tt::TruthTable;
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (8 * byte)) & 0xFFull;
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+struct WorkloadResult {
+  std::string name;
+  std::string tag;
+  double seconds = 0.0;
+  std::uint64_t checksum = 0;  ///< config-independent functional invariant
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// An engine configuration under test.  "plain" reproduces the seed path.
+struct EngineConfig {
+  const char* tag;
+  bool signatures;
+  bool reference_clique;
+  int threads;
+};
+
+const EngineConfig kConfigs[] = {
+    {"plain", false, true, 1},
+    {"signatures", true, true, 1},
+    {"incremental", true, false, 1},
+    {"parallel2", true, false, 2},
+    {"parallel4", true, false, 4},
+};
+
+hyde::decomp::ClassComputeOptions class_options(const EngineConfig& config) {
+  hyde::decomp::ClassComputeOptions options;
+  options.use_signatures = config.signatures;
+  options.use_reference_clique = config.reference_clique;
+  return options;
+}
+
+/// A DC-rich random decomposition instance. Minterms are on with probability
+/// 1/on_mod and (when off) don't-care with probability 1/dc_mod. The classes
+/// workload uses a sparse on-set with half the space don't-care — a dense
+/// column-compatibility graph where clique partitioning genuinely merges
+/// columns (the regime the paper's Section-3.1 don't-care assignment
+/// targets); the encoder workload uses lighter don't-cares so many classes
+/// survive into the Figure-3 steps.
+hyde::decomp::DecompSpec random_spec(Manager& mgr, int num_vars, int bound_vars,
+                                     int on_mod, int dc_mod,
+                                     std::uint64_t& state) {
+  const Bdd on = mgr.from_truth_table(TruthTable::from_lambda(
+      num_vars, [&state, on_mod](std::uint64_t) {
+        return splitmix64(state) % static_cast<std::uint64_t>(on_mod) == 0;
+      }));
+  const Bdd dc_raw = mgr.from_truth_table(TruthTable::from_lambda(
+      num_vars, [&state, dc_mod](std::uint64_t) {
+        return splitmix64(state) % static_cast<std::uint64_t>(dc_mod) == 0;
+      }));
+  hyde::decomp::DecompSpec spec;
+  spec.mgr = &mgr;
+  spec.f = IsfBdd{on, dc_raw & ~on};
+  for (int v = 0; v < bound_vars; ++v) spec.bound.push_back(v);
+  for (int v = bound_vars; v < num_vars; ++v) spec.free.push_back(v);
+  return spec;
+}
+
+std::uint64_t fold_classes(std::uint64_t checksum,
+                           const hyde::decomp::ClassResult& classes) {
+  checksum = fnv1a(checksum, static_cast<std::uint64_t>(classes.columns.size()));
+  checksum = fnv1a(checksum, static_cast<std::uint64_t>(classes.classes.size()));
+  for (const auto& cls : classes.classes) {
+    for (int c : cls.columns) {
+      checksum = fnv1a(checksum, static_cast<std::uint64_t>(c));
+    }
+    checksum = fnv1a(checksum, 0xC1A55ull);
+  }
+  return checksum;
+}
+
+/// Compatible-class computation over wide DC-rich charts: the pairwise
+/// compatibility test (quadratic in columns) and the clique partitioner are
+/// the whole cost; the signature and incremental paths attack exactly those.
+WorkloadResult bench_classes(const EngineConfig& config, int num_vars,
+                             int bound_vars, int functions, int rounds) {
+  WorkloadResult result;
+  result.name = "classes_x" + std::to_string(num_vars) + "_" + config.tag;
+  result.tag = config.tag;
+  const auto options = class_options(config);
+  std::uint64_t checksum = 0xCBF29CE484222325ull;
+  const auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < rounds; ++r) {
+    std::uint64_t state = 0xC0FFEE + static_cast<std::uint64_t>(num_vars);
+    Manager mgr(num_vars);
+    for (int i = 0; i < functions; ++i) {
+      const auto spec = random_spec(mgr, num_vars, bound_vars, /*on_mod=*/5,
+                                    /*dc_mod=*/2, state);
+      const auto classes = hyde::decomp::compute_compatible_classes(
+          spec, hyde::decomp::DcPolicy::kCliquePartition, options);
+      checksum = fold_classes(checksum, classes);
+    }
+  }
+  result.seconds = seconds_since(start);
+  result.checksum = checksum;
+  return result;
+}
+
+/// Class computation followed by the full Figure-3 encoder (Steps 1-9): the
+/// configured class engine also backs the encoder's Step-8 image-class
+/// counts, and the thread knob engages the snapshot-parallel Steps 4 and 8.
+WorkloadResult bench_encode(const EngineConfig& config, int num_vars,
+                            int bound_vars, int functions, int rounds) {
+  WorkloadResult result;
+  result.name = "encode_x" + std::to_string(num_vars) + "_" + config.tag;
+  result.tag = config.tag;
+  const auto options = class_options(config);
+  std::uint64_t checksum = 0xCBF29CE484222325ull;
+  const auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < rounds; ++r) {
+    std::uint64_t state = 0xE2C0DE + static_cast<std::uint64_t>(num_vars);
+    for (int i = 0; i < functions; ++i) {
+      // Managers sized past num_vars so α code bits get fresh variables.
+      Manager mgr(num_vars + 6);
+      const auto spec = random_spec(mgr, num_vars, bound_vars, /*on_mod=*/3,
+                                    /*dc_mod=*/4, state);
+      const auto classes = hyde::decomp::compute_compatible_classes(
+          spec, hyde::decomp::DcPolicy::kCliquePartition, options);
+      checksum = fold_classes(checksum, classes);
+      if (classes.num_classes() < 2) continue;
+      std::vector<int> alpha_vars;
+      for (int j = 0; j < classes.code_bits(); ++j) {
+        alpha_vars.push_back(num_vars + j);
+      }
+      hyde::core::EncoderOptions enc;
+      enc.k = 4;  // small κ forces the non-trivial Steps 3-8 to run
+      enc.seed = static_cast<std::uint64_t>(i) + 1;
+      enc.class_options = options;
+      enc.threads = config.threads;
+      const auto choice = hyde::core::encode_classes(mgr, classes, spec.free,
+                                                     alpha_vars, enc);
+      checksum = fnv1a(checksum, static_cast<std::uint64_t>(choice.encoding.num_bits));
+      for (std::uint32_t code : choice.encoding.codes) {
+        checksum = fnv1a(checksum, code);
+      }
+      checksum = fnv1a(checksum, choice.trace.used_random ? 1u : 0u);
+      checksum = fnv1a(checksum,
+                       static_cast<std::uint64_t>(choice.trace.num_rows + 16));
+      checksum = fnv1a(checksum,
+                       static_cast<std::uint64_t>(choice.trace.num_cols + 16));
+      checksum = fnv1a(
+          checksum,
+          static_cast<std::uint64_t>(choice.trace.random_image_classes + 16));
+      checksum = fnv1a(
+          checksum,
+          static_cast<std::uint64_t>(choice.trace.chosen_image_classes + 16));
+    }
+  }
+  result.seconds = seconds_since(start);
+  result.checksum = checksum;
+  return result;
+}
+
+void append_json(std::string& out, const WorkloadResult& r, bool last) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "    {\"name\": \"%s\", \"seconds\": %.6f, \"checksum\": %llu}%s\n",
+                r.name.c_str(), r.seconds,
+                static_cast<unsigned long long>(r.checksum), last ? "" : ",");
+  out += buf;
+}
+
+/// Workloads with the same base name must agree on the checksum across every
+/// engine configuration; returns false (and reports) on any divergence.
+bool checksums_agree(const std::vector<WorkloadResult>& results) {
+  std::map<std::string, std::uint64_t> expected;
+  bool ok = true;
+  for (const auto& r : results) {
+    const std::size_t cut = r.name.rfind('_');
+    const std::string base = r.name.substr(0, cut);
+    const auto [it, inserted] = expected.emplace(base, r.checksum);
+    if (!inserted && it->second != r.checksum) {
+      std::fprintf(stderr,
+                   "encode_bench: checksum mismatch for %s (%llu != %llu)\n",
+                   r.name.c_str(),
+                   static_cast<unsigned long long>(r.checksum),
+                   static_cast<unsigned long long>(it->second));
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string label = "engine";
+  std::string out_path;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--label=", 0) == 0) {
+      label = arg.substr(8);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg == "--quick") {
+      quick = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: encode_bench [--label=NAME] [--out=FILE] [--quick]\n");
+      return 2;
+    }
+  }
+
+  const int classes_vars = quick ? 11 : 13;
+  const int classes_bound = quick ? 7 : 9;
+  const int classes_functions = quick ? 1 : 2;
+  const int classes_rounds = quick ? 1 : 2;
+  // Three free variables keep the image small enough that the Step-3 λ'
+  // must mix α and position variables — the full Figure-3 pipeline (Psc
+  // table, b-matching, row merging, Step-8 comparison) runs on every
+  // instance instead of exiting through Theorem 3.1.
+  const int encode_vars = quick ? 7 : 9;
+  const int encode_bound = quick ? 4 : 6;
+  const int encode_functions = quick ? 2 : 5;
+  const int encode_rounds = quick ? 1 : 3;
+
+  std::vector<WorkloadResult> results;
+  for (const EngineConfig& config : kConfigs) {
+    results.push_back(bench_classes(config, classes_vars, classes_bound,
+                                    classes_functions, classes_rounds));
+  }
+  for (const EngineConfig& config : kConfigs) {
+    results.push_back(bench_encode(config, encode_vars, encode_bound,
+                                   encode_functions, encode_rounds));
+  }
+
+  if (!checksums_agree(results)) return 1;
+
+  // Combined classes+encoding seconds per configuration, and the speedup
+  // each configuration achieves over the seed-equivalent "plain" path.
+  std::map<std::string, double> totals;
+  for (const auto& r : results) totals[r.tag] += r.seconds;
+  const double plain_total = totals["plain"];
+
+  std::string json;
+  json += "{\n";
+  json += "  \"schema\": \"hyde.bench_encode.v1\",\n";
+  json += "  \"engine\": \"" + label + "\",\n";
+  json += "  \"configs\": [";
+  for (std::size_t i = 0; i < std::size(kConfigs); ++i) {
+    json += std::string("\"") + kConfigs[i].tag + "\"";
+    if (i + 1 < std::size(kConfigs)) json += ", ";
+  }
+  json += "],\n";
+  json += "  \"totals\": [\n";
+  for (std::size_t i = 0; i < std::size(kConfigs); ++i) {
+    const double total = totals[kConfigs[i].tag];
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"config\": \"%s\", \"seconds\": %.6f, "
+                  "\"speedup_vs_plain\": %.3f}%s\n",
+                  kConfigs[i].tag, total,
+                  total > 0.0 ? plain_total / total : 0.0,
+                  i + 1 < std::size(kConfigs) ? "," : "");
+    json += buf;
+  }
+  json += "  ],\n";
+  json += "  \"workloads\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    append_json(json, results[i], i + 1 == results.size());
+  }
+  json += "  ]\n}\n";
+
+  if (out_path.empty()) {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "encode_bench: cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  }
+  return 0;
+}

@@ -65,10 +65,12 @@ int usage() {
   std::fprintf(stderr,
                "usage: hyde_cli [-k n] [-s hyde|imodec|fgsyn|rk|rk-resub|all] "
                "[-o out.blif] [--pla-out out.pla] [--no-verify] [--profile] "
-               "[--search-threads n] <circuit.blif|circuit.pla|@benchmark>\n"
+               "[--search-threads n] [--encoder-threads n] "
+               "<circuit.blif|circuit.pla|@benchmark>\n"
                "       hyde_cli --batch [-k n] [-s system|all] [--workers n] "
                "[--seed n] [--json file] [--csv file] [--deterministic-json] "
-               "[--no-cache] [--no-verify] [--profile] [--search-threads n]\n");
+               "[--no-cache] [--no-verify] [--profile] [--search-threads n] "
+               "[--encoder-threads n]\n");
   return 2;
 }
 
@@ -104,7 +106,8 @@ void print_profile(const hyde::core::FlowStats& stats, const char* indent) {
 int run_batch_mode(const std::string& system_name, int k, int workers,
                    std::uint64_t seed, bool verify, bool use_cache,
                    const std::string& json_path, const std::string& csv_path,
-                   bool deterministic_json, bool profile, int search_threads) {
+                   bool deterministic_json, bool profile, int search_threads,
+                   int encoder_threads) {
   using namespace hyde;
   std::vector<baseline::System> systems;
   for (const auto& [name, system] : known_systems()) {
@@ -118,6 +121,7 @@ int run_batch_mode(const std::string& system_name, int k, int workers,
   options.verify_vectors = verify ? 128 : 0;
   options.use_cache = use_cache;
   options.search_threads = search_threads;
+  options.encoder_threads = encoder_threads;
 
   std::printf("batch: %zu jobs (%zu circuits x %zu systems), k=%d, "
               "%d workers, cache %s\n",
@@ -196,6 +200,7 @@ int main(int argc, char** argv) {
   bool profile = false;
   int workers = runtime::default_worker_count();
   int search_threads = 1;
+  int encoder_threads = 1;
   std::uint64_t seed = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -264,6 +269,16 @@ int main(int argc, char** argv) {
         return 2;
       }
       search_threads = static_cast<int>(value);
+    } else if (arg == "--encoder-threads" && i + 1 < argc) {
+      long value = 0;
+      if (!parse_long(argv[++i], &value) || value < 1 || value > 256) {
+        std::fprintf(stderr,
+                     "error: --encoder-threads expects an integer in 1..256, "
+                     "got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      encoder_threads = static_cast<int>(value);
     } else if (arg == "--profile") {
       profile = true;
     } else if (arg == "--no-verify") {
@@ -291,7 +306,7 @@ int main(int argc, char** argv) {
     }
     return run_batch_mode(system_name, k, workers, seed, verify, use_cache,
                           json_path, csv_path, deterministic_json, profile,
-                          search_threads);
+                          search_threads, encoder_threads);
   }
   if (source.empty()) return usage();
 
@@ -347,7 +362,7 @@ int main(int argc, char** argv) {
     auto result =
         baseline::run_system(input, system, k, verify ? 256 : 0, /*seed=*/1,
                              /*cache=*/nullptr, /*cache_max_support=*/7,
-                             search_threads);
+                             search_threads, encoder_threads);
     std::printf("%-10s %5d LUTs", name.c_str(), result.luts);
     if (k == 5) std::printf("  %5d CLBs", result.clbs);
     std::printf("  depth %2d  %.3fs  %s\n", result.depth, result.seconds,

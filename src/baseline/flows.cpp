@@ -26,7 +26,8 @@ std::string system_name(System system) {
 BaselineResult run_system(const net::Network& input, System system, int k,
                           int verify_vectors, std::uint64_t seed,
                           core::DecompCache* cache, int cache_max_support,
-                          int search_threads) {
+                          int search_threads, int encoder_threads,
+                          bool class_signatures) {
   core::FlowOptions options;
   switch (system) {
     case System::kHyde:
@@ -47,6 +48,8 @@ BaselineResult run_system(const net::Network& input, System system, int k,
   options.cache = cache;
   options.cache_max_support = cache_max_support;
   options.search_threads = search_threads;
+  options.encoder_threads = encoder_threads;
+  options.class_signatures = class_signatures;
 
   const auto start = std::chrono::steady_clock::now();
   core::FlowResult flow = core::run_flow(input, options);

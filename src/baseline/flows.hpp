@@ -45,9 +45,15 @@ std::string system_name(System system);
 /// \p search_threads parallelizes candidate bound-set evaluation *inside*
 /// the flow (decomp/search.hpp) — result-identical at any value; keep 1
 /// when many flows already run concurrently on a batch worker pool.
+/// \p encoder_threads likewise parallelizes the encoder's Step-4/Step-8 work
+/// (core/encoder.hpp) and \p class_signatures toggles the packed-signature
+/// column-compatibility fast path (decomp/compatible.hpp); both are
+/// result-neutral engine knobs.
 BaselineResult run_system(const net::Network& input, System system, int k,
                           int verify_vectors = 256, std::uint64_t seed = 1,
                           core::DecompCache* cache = nullptr,
-                          int cache_max_support = 7, int search_threads = 1);
+                          int cache_max_support = 7, int search_threads = 1,
+                          int encoder_threads = 1,
+                          bool class_signatures = true);
 
 }  // namespace hyde::baseline

@@ -76,6 +76,27 @@ class Decomposer {
   /// seconds become the varpart phase).
   decomp::BoundSetSearch& search() { return search_; }
 
+  /// Class-computation knobs bound to this decomposer's counter sink.
+  decomp::ClassComputeOptions class_options() {
+    decomp::ClassComputeOptions c;
+    c.use_signatures = options_.class_signatures;
+    c.signature_max_rows = options_.class_signature_rows;
+    c.stats = &class_stats_;
+    return c;
+  }
+  const decomp::ClassStats& class_stats() const { return class_stats_; }
+  std::uint64_t encoder_parallel_tasks() const {
+    return encoder_parallel_tasks_;
+  }
+
+  /// Threads the flow's encoder-engine knobs (worker threads, class-engine
+  /// options) and counter sinks into an EncoderOptions.
+  void fill_encoder_engine(EncoderOptions* enc) {
+    enc->threads = options_.encoder_threads;
+    enc->class_options = class_options();
+    enc->parallel_tasks = &encoder_parallel_tasks_;
+  }
+
   /// Declares that manager variable \p var is computed by network node.
   void map_var(int var, net::NodeId node) { var_node_[var] = node; }
 
@@ -115,7 +136,9 @@ class Decomposer {
         preferred.size() < support.size()) {
       decomp::DecompSpec spec = make_spec(f, support, preferred);
       const auto classes_start = std::chrono::steady_clock::now();
-      const int classes = decomp::count_compatible_classes(spec, options_.dc_policy);
+      const int classes =
+          decomp::count_compatible_classes(spec, options_.dc_policy,
+                                           class_options());
       stats_.classes_seconds += seconds_since(classes_start);
       if (bits_for(classes) < static_cast<int>(preferred.size())) {
         vp.success = true;
@@ -161,7 +184,9 @@ class Decomposer {
     spec.bound = vp.bound;
     spec.free = vp.free;
     const auto classes_start = std::chrono::steady_clock::now();
-    const auto classes = decomp::compute_compatible_classes(spec, options_.dc_policy);
+    const auto classes =
+        decomp::compute_compatible_classes(spec, options_.dc_policy,
+                                           class_options());
     stats_.classes_seconds += seconds_since(classes_start);
     if (classes.num_classes() == 1) {
       // The function does not truly depend on the bound set.
@@ -186,6 +211,7 @@ class Decomposer {
                                              stats_.decomposition_steps);
       enc_options.dc_policy = options_.dc_policy;
       enc_options.search = &search_;
+      fill_encoder_engine(&enc_options);
       EncodingChoice choice =
           encode_classes(gm_, classes, vp.free, alpha_vars, enc_options);
       encoding = choice.encoding;
@@ -293,6 +319,9 @@ class Decomposer {
     // so the deterministic cached entry.stats never carries them.
     stats_.absorb_bdd_stats(tm.stats());
     sub_stats.absorb_search_stats(sub.search().stats());
+    sub_stats.class_signature_pairs += sub.class_stats().signature_pairs;
+    sub_stats.class_bdd_pairs += sub.class_stats().bdd_pairs;
+    sub_stats.encoder_parallel_tasks += sub.encoder_parallel_tasks();
     stats_.absorb_search_and_phases(sub_stats);
     return entry;
   }
@@ -451,6 +480,8 @@ class Decomposer {
   int next_var_ = 0;
   int cache_ceiling_ = 0;
   decomp::BoundSetSearch search_;
+  decomp::ClassStats class_stats_;
+  std::uint64_t encoder_parallel_tasks_ = 0;
 };
 
 /// Greedy support-overlap grouping of primary outputs for hyper-functions.
@@ -506,6 +537,7 @@ std::vector<net::NodeId> run_hyper_group_raw(
   enc_options.seed = options.seed;
   enc_options.dc_policy = options.dc_policy;
   enc_options.search = &decomposer.search();
+  decomposer.fill_encoder_engine(&enc_options);
   const double search_before = decomposer.search().stats().seconds;
   const auto encode_start = std::chrono::steady_clock::now();
   const HyperFunction hyper = build_hyper_function(
@@ -799,6 +831,9 @@ FlowResult run_flow_once(const net::Network& input, const FlowOptions& options,
   out.drop_unused_inputs(ppi_nodes);
   stats.absorb_bdd_stats(gm.stats());
   stats.absorb_search_stats(decomposer.search().stats());
+  stats.class_signature_pairs += decomposer.class_stats().signature_pairs;
+  stats.class_bdd_pairs += decomposer.class_stats().bdd_pairs;
+  stats.encoder_parallel_tasks += decomposer.encoder_parallel_tasks();
   return result;
 }
 }  // namespace

@@ -87,6 +87,20 @@ struct FlowOptions {
   bool search_pruning = true;
   /// Memo entry cap before a wholesale clear.
   std::size_t search_memo_capacity = std::size_t{1} << 14;
+
+  // Class-computation and encoder engine knobs (decomp/compatible.hpp,
+  // core/encoder.hpp). Result-neutral like the search knobs — identical
+  // classes, encodings and networks at every setting — so they are likewise
+  // excluded from the NPN-cache fingerprint.
+  /// Decide column compatibility with packed row signatures (word ops) when
+  /// the row space fits class_signature_rows; off forces the per-pair BDD
+  /// disjointness tests.
+  bool class_signatures = true;
+  /// Row-space bound for the signature fast path (rows = 2^|support union|).
+  int class_signature_rows = 4096;
+  /// Worker threads for the encoder's snapshot-parallel Step 4 (per-class Π
+  /// computation) and Step 8 (random-vs-structured image-class counts).
+  int encoder_threads = 1;
 };
 
 /// Flow outcome counters (area is the post-sweep logic node count; the
@@ -120,6 +134,14 @@ struct FlowStats {
   std::uint64_t search_candidates_pruned = 0;
   std::uint64_t search_memo_hits = 0;
   std::uint64_t search_memo_clears = 0;
+
+  // Class-computation / encoder engine counters (decomp/compatible.hpp,
+  // core/encoder.hpp). Volatile like the search block: they record which
+  // fast path fired and how many tasks hit worker threads, never anything
+  // the results depend on.
+  std::uint64_t class_signature_pairs = 0;
+  std::uint64_t class_bdd_pairs = 0;
+  std::uint64_t encoder_parallel_tasks = 0;
 
   // Per-phase wall-clock breakdown (volatile; seconds). varpart is the
   // bound-set search engine's self-timed total, classes covers
@@ -161,6 +183,9 @@ struct FlowStats {
     search_candidates_pruned += s.search_candidates_pruned;
     search_memo_hits += s.search_memo_hits;
     search_memo_clears += s.search_memo_clears;
+    class_signature_pairs += s.class_signature_pairs;
+    class_bdd_pairs += s.class_bdd_pairs;
+    encoder_parallel_tasks += s.encoder_parallel_tasks;
     varpart_seconds += s.varpart_seconds;
     classes_seconds += s.classes_seconds;
     encoding_seconds += s.encoding_seconds;

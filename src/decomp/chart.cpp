@@ -233,6 +233,57 @@ std::vector<Column> enumerate_columns(const DecompSpec& spec) {
   return columns;
 }
 
+std::vector<ColumnSignature> column_signatures(
+    const DecompSpec& spec, const std::vector<Column>& columns, int max_rows) {
+  if (max_rows <= 0 || columns.empty()) return {};
+  bdd::Manager& mgr = *spec.mgr;
+  // Shared signature variable set: the sorted union of the pattern supports.
+  // Free variables no pattern depends on only pad the row space without
+  // affecting the compatibility predicate, so they are dropped.
+  std::vector<char> used(static_cast<std::size_t>(mgr.num_vars()), 0);
+  for (const Column& c : columns) {
+    for (const int v : mgr.support(c.pattern.on)) {
+      used[static_cast<std::size_t>(v)] = 1;
+    }
+    for (const int v : mgr.support(c.pattern.dc)) {
+      used[static_cast<std::size_t>(v)] = 1;
+    }
+  }
+  std::vector<int> row_vars;
+  for (int v = 0; v < mgr.num_vars(); ++v) {
+    if (used[static_cast<std::size_t>(v)] != 0) row_vars.push_back(v);
+  }
+  const int nv = static_cast<int>(row_vars.size());
+  if (nv > tt::TruthTable::kMaxVars || nv > 30 ||
+      (std::int64_t{1} << nv) > max_rows) {
+    return {};  // row space too large; caller falls back to BDD tests
+  }
+  const std::uint64_t rows = std::uint64_t{1} << nv;
+  const std::size_t words = static_cast<std::size_t>((rows + 63) / 64);
+  const unsigned tail_bits = static_cast<unsigned>(rows % 64);
+  const std::uint64_t tail_mask =
+      tail_bits == 0 ? ~std::uint64_t{0}
+                     : (std::uint64_t{1} << tail_bits) - 1;
+
+  std::vector<ColumnSignature> sigs(columns.size());
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    const tt::TruthTable on_tt =
+        mgr.to_truth_table(columns[i].pattern.on, row_vars);
+    const tt::TruthTable dc_tt =
+        mgr.to_truth_table(columns[i].pattern.dc, row_vars);
+    sigs[i].on = on_tt.words();
+    const std::vector<std::uint64_t>& dc_words = dc_tt.words();
+    sigs[i].care.resize(words);
+    for (std::size_t w = 0; w < words; ++w) {
+      sigs[i].care[w] = ~dc_words[w];
+    }
+    // TruthTable zeroes its own tail bits; complementing set them, so mask
+    // the care tail back to zero to keep whole-word tests sound.
+    sigs[i].care[words - 1] &= tail_mask;
+  }
+  return sigs;
+}
+
 std::vector<Column> enumerate_columns_recursive(const DecompSpec& spec) {
   check_spec(spec);
   bdd::Manager& mgr = *spec.mgr;

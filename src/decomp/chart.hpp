@@ -58,6 +58,28 @@ struct Column {
 /// bound set, so charts keep an exhaustively enumerable bound region.
 inline constexpr int kMaxBoundVars = 16;
 
+/// Packed row-space signature of a chart column. Bit m (bit m%64 of word
+/// m/64) is row minterm m over the shared signature variable set — the sorted
+/// union of the member pattern supports, a subset of the free set. `on` is
+/// the pattern onset, `care` the complement of its dc-set; bits beyond the
+/// row count are zero in both, so whole-word operations need no tail mask.
+///
+/// Two columns are compatible iff
+///   (a.on & b.care & ~b.on) == 0  and  (b.on & a.care & ~a.on) == 0
+/// word-wise — exactly the BDD test `disjoint(a.on, b.off())` ∧
+/// `disjoint(b.on, a.off())`, because every pattern is fully determined by
+/// the signature variables.
+struct ColumnSignature {
+  std::vector<std::uint64_t> on;
+  std::vector<std::uint64_t> care;
+};
+
+/// Derives the row signatures of \p columns, or returns an empty vector when
+/// the shared row space exceeds \p max_rows (the caller then falls back to
+/// BDD compatibility tests). max_rows <= 0 disables signatures outright.
+std::vector<ColumnSignature> column_signatures(
+    const DecompSpec& spec, const std::vector<Column>& columns, int max_rows);
+
 /// Enumerates the distinct column patterns of the chart. Deterministic:
 /// columns are ordered by their smallest bound minterm.
 /// Throws std::invalid_argument if |bound| exceeds kMaxBoundVars.

@@ -44,13 +44,46 @@ enum class DcPolicy {
   kCliquePartition,
 };
 
+/// Counters for the class-computation engine. All values are volatile
+/// observations (which fast path fired); results never depend on them.
+struct ClassStats {
+  /// Column pairs decided by packed-signature word operations.
+  std::uint64_t signature_pairs = 0;
+  /// Column pairs decided by BDD disjointness tests (fallback path).
+  std::uint64_t bdd_pairs = 0;
+
+  void operator+=(const ClassStats& other) {
+    signature_pairs += other.signature_pairs;
+    bdd_pairs += other.bdd_pairs;
+  }
+};
+
+/// Result-neutral engine knobs for compatible-class computation. Every
+/// setting produces identical classes in identical order; the knobs only
+/// select how the column-compatibility graph is evaluated.
+struct ClassComputeOptions {
+  /// Decide column compatibility with packed row signatures (word ops)
+  /// when the row space fits signature_max_rows; otherwise fall back to
+  /// per-pair BDD disjointness with hoisted off() BDDs.
+  bool use_signatures = true;
+  /// Row-space bound for the signature path (rows = 2^|support union|).
+  int signature_max_rows = 4096;
+  /// Route clique partitioning through the recount-from-scratch reference
+  /// implementation (bench/test fidelity knob; partitions are identical).
+  bool use_reference_clique = false;
+  /// Optional counter sink.
+  ClassStats* stats = nullptr;
+};
+
 /// Computes the compatible classes of the chart of \p spec.
-ClassResult compute_compatible_classes(const DecompSpec& spec,
-                                       DcPolicy policy = DcPolicy::kCliquePartition);
+ClassResult compute_compatible_classes(
+    const DecompSpec& spec, DcPolicy policy = DcPolicy::kCliquePartition,
+    const ClassComputeOptions& options = {});
 
 /// Number of compatible classes only (convenience for cost functions).
 int count_compatible_classes(const DecompSpec& spec,
-                             DcPolicy policy = DcPolicy::kCliquePartition);
+                             DcPolicy policy = DcPolicy::kCliquePartition,
+                             const ClassComputeOptions& options = {});
 
 /// True iff two column patterns agree on their common care set.
 bool columns_compatible(bdd::Manager& mgr, const IsfBdd& a, const IsfBdd& b);

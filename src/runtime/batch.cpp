@@ -55,7 +55,8 @@ RunReport run_batch(const std::vector<BatchJob>& jobs,
           const net::Network input = mcnc::make_circuit(job.circuit);
           const baseline::BaselineResult result = baseline::run_system(
               input, job.system, job.k, options.verify_vectors, job.seed,
-              shared_cache, options.cache_max_support, options.search_threads);
+              shared_cache, options.cache_max_support, options.search_threads,
+              options.encoder_threads, options.class_signatures);
           out.luts = result.luts;
           out.clbs = result.clbs;
           out.depth = result.depth;
@@ -90,6 +91,9 @@ RunReport run_batch(const std::vector<BatchJob>& jobs,
     report.search.candidates_pruned += job.stats.search_candidates_pruned;
     report.search.memo_hits += job.stats.search_memo_hits;
     report.search.memo_clears += job.stats.search_memo_clears;
+    report.classes.signature_pairs += job.stats.class_signature_pairs;
+    report.classes.bdd_pairs += job.stats.class_bdd_pairs;
+    report.classes.encoder_parallel_tasks += job.stats.encoder_parallel_tasks;
   }
   report.cache.unique_functions = cache.size();
   const NpnCacheCounters counters = cache.counters();

@@ -42,6 +42,12 @@ struct BatchOptions {
   /// Result-identical at any value; the default 1 avoids oversubscribing the
   /// batch worker pool. Total threads ~= workers * search_threads.
   int search_threads = 1;
+  /// Intra-flow encoder threads per job (core/encoder.hpp Step 4 / Step 8).
+  /// Result-identical at any value; same oversubscription caveat.
+  int encoder_threads = 1;
+  /// Packed-signature column-compatibility fast path (decomp/compatible.hpp).
+  /// Result-identical on and off.
+  bool class_signatures = true;
 };
 
 /// Number of workers to use when the caller has no preference: the hardware

@@ -70,6 +70,13 @@ std::string to_json(const RunReport& report, bool include_volatile) {
     out += ", \"memo_hits\": " + std::to_string(report.search.memo_hits);
     out += ", \"memo_clears\": " + std::to_string(report.search.memo_clears);
     out += "},\n";
+    out += "  \"classes\": {";
+    out += "\"signature_pairs\": " +
+           std::to_string(report.classes.signature_pairs);
+    out += ", \"bdd_pairs\": " + std::to_string(report.classes.bdd_pairs);
+    out += ", \"encoder_parallel_tasks\": " +
+           std::to_string(report.classes.encoder_parallel_tasks);
+    out += "},\n";
   }
   out += "  \"cache\": {\n";
   out += std::string("    \"enabled\": ") +
@@ -140,6 +147,13 @@ std::string to_json(const RunReport& report, bool include_volatile) {
       out += ", \"memo_clears\": " +
              std::to_string(job.stats.search_memo_clears);
       out += "}";
+      out += ",\n      \"classes\": {";
+      out += "\"signature_pairs\": " +
+             std::to_string(job.stats.class_signature_pairs);
+      out += ", \"bdd_pairs\": " + std::to_string(job.stats.class_bdd_pairs);
+      out += ", \"encoder_parallel_tasks\": " +
+             std::to_string(job.stats.encoder_parallel_tasks);
+      out += "}";
       out += ",\n      \"profile\": {";
       out += "\"varpart_seconds\": " +
              format_double(job.stats.varpart_seconds);
@@ -166,7 +180,8 @@ std::string to_csv(const RunReport& report) {
       "encoder_random_kept,collapse_mode,cache_lookups,seconds,"
       "bdd_cache_hits,bdd_cache_misses,bdd_gc_runs,bdd_peak_live_nodes,"
       "search_selects,search_evaluated,search_pruned,search_memo_hits,"
-      "varpart_seconds,classes_seconds,encoding_seconds,mapping_seconds\n";
+      "varpart_seconds,classes_seconds,encoding_seconds,mapping_seconds,"
+      "class_signature_pairs,class_bdd_pairs,encoder_parallel_tasks\n";
   for (const JobReport& job : report.jobs) {
     out += job.circuit + "," + job.system + "," + std::to_string(job.k) + "," +
            std::to_string(job.seed) + "," + std::to_string(job.luts) + "," +
@@ -191,7 +206,10 @@ std::string to_csv(const RunReport& report) {
            format_double(job.stats.varpart_seconds) + "," +
            format_double(job.stats.classes_seconds) + "," +
            format_double(job.stats.encoding_seconds) + "," +
-           format_double(job.stats.mapping_seconds) + "\n";
+           format_double(job.stats.mapping_seconds) + "," +
+           std::to_string(job.stats.class_signature_pairs) + "," +
+           std::to_string(job.stats.class_bdd_pairs) + "," +
+           std::to_string(job.stats.encoder_parallel_tasks) + "\n";
   }
   return out;
 }

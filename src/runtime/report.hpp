@@ -87,12 +87,22 @@ struct SearchReport {
   std::uint64_t memo_clears = 0;
 };
 
+/// Aggregated class-computation / encoder engine figures for the whole batch
+/// (all volatile: which fast path decided a column pair and how many encoder
+/// tasks hit worker threads depend on the engine knobs, never the results).
+struct ClassesReport {
+  std::uint64_t signature_pairs = 0;
+  std::uint64_t bdd_pairs = 0;
+  std::uint64_t encoder_parallel_tasks = 0;
+};
+
 struct RunReport {
   int verify_vectors = 0;
   std::vector<JobReport> jobs;  ///< submission order, independent of finish order
   CacheReport cache;
   BddKernelReport bdd;       ///< volatile
   SearchReport search;       ///< volatile
+  ClassesReport classes;     ///< volatile
   int workers = 1;           ///< volatile
   double wall_seconds = 0.0;  ///< volatile
 
