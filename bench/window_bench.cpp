@@ -1,0 +1,318 @@
+/// \file window_bench.cpp
+/// \brief Windowed-flow benchmark: the memory-governance and determinism
+/// proof for the part/ subsystem, emitting JSON rows for BENCH_window.json.
+///
+/// Three netlists (the two committed tests/data fixtures regenerated
+/// in-process, plus a ~19k-node tiled netlist no fixture could reasonably
+/// hold) run under every engine configuration:
+///
+///  - `*_t1/_t2/_t4`: the windowed flow at 1/2/4 worker threads. The engine
+///    contract is bit-identical output at every thread count, so the three
+///    rows of one base name must share a checksum — the harness verifies
+///    this itself and fails (exit 1) on any mismatch, making a committed
+///    BENCH_window.json a determinism proof for the machine that produced
+///    it.
+///  - `*whole_gov/_free`: the whole-network flow under the same per-manager
+///    BDD node budget the windowed engine gives each window, and unbounded.
+///    On the fixture-sized netlists both complete with identical networks
+///    (the budget knob is result-neutral when the flow fits), so they share
+///    a base name too.  On the large netlist the governed run MUST throw —
+///    one global manager cannot hold a 19k-node netlist inside a budget any
+///    single window sits far below — and the harness fails if it completes,
+///    making the committed JSON a memory-governance proof as well.
+///
+/// Protocol:
+///
+///     window_bench --label=windowed --out=BENCH_window.json   (full run)
+///     window_bench --quick                                    (CI smoke)
+///
+/// --quick drops the large netlist and runs the fixture-sized workloads
+/// only; the thread-identity and budget-neutrality gates still apply.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baseline/flows.hpp"
+#include "mapper/lutmap.hpp"
+#include "mcnc/benchmarks.hpp"
+#include "net/blif.hpp"
+#include "net/verify.hpp"
+#include "part/windowed.hpp"
+
+namespace {
+
+using hyde::core::FlowOptions;
+using hyde::net::Network;
+using hyde::part::WindowedFlowOptions;
+
+/// The per-manager BDD node budget shared by every configuration: each
+/// window's flow runs under it, and the `whole_gov` rows give the
+/// whole-network flow the very same cap.  Chosen with ~6x headroom over the
+/// largest per-window peak yet a factor of two below what the whole-network
+/// path needs on the large netlist.
+constexpr std::size_t kBudget = std::size_t{1} << 17;
+
+std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (8 * byte)) & 0xFFull;
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+std::uint64_t fnv1a_string(std::uint64_t hash, const std::string& text) {
+  for (char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+struct WorkloadResult {
+  std::string name;
+  double seconds = 0.0;
+  std::uint64_t checksum = 0;  ///< schedule-independent functional invariant
+  bool completed = true;       ///< false: blew the budget (expected for gov)
+  int luts = 0;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// The two committed tests/data fixtures, regenerated bit-for-bit (the
+/// generators are pure functions of their arguments — see tests/data/README).
+Network make_mid() {
+  return hyde::mcnc::random_multilevel("win_mid", 32, 8, 700, 2, 9, 5);
+}
+Network make_wide() {
+  return hyde::mcnc::random_multilevel("win_wide", 40, 10, 1500, 3, 10, 9);
+}
+
+/// Large workload: two independently seeded multilevel DAGs tiled side by
+/// side into one ~19k-node netlist (random_multilevel's live cone saturates
+/// around 6k nodes, so scale comes from tiling).  Deterministic.
+Network make_scale() {
+  Network out("scale");
+  for (int c = 0; c < 2; ++c) {
+    const Network tile = hyde::mcnc::random_multilevel(
+        "scale_tile", 64, 16, 40000, 3, 9, 21 + static_cast<std::uint64_t>(c));
+    std::unordered_map<hyde::net::NodeId, hyde::net::NodeId> map;
+    const std::string prefix = "t" + std::to_string(c) + "_";
+    for (hyde::net::NodeId id : tile.topo_order()) {
+      const hyde::net::Node& n = tile.node(id);
+      if (n.kind == hyde::net::NodeKind::kInput) {
+        map[id] = out.add_input(prefix + n.name);
+        continue;
+      }
+      std::vector<hyde::net::NodeId> fanins;
+      fanins.reserve(n.fanins.size());
+      for (hyde::net::NodeId f : n.fanins) fanins.push_back(map.at(f));
+      map[id] = out.add_logic_tt(prefix + n.name, fanins, tile.local_tt(id));
+    }
+    for (const hyde::net::Output& po : tile.outputs()) {
+      out.add_output(prefix + po.name, map.at(po.driver));
+    }
+  }
+  return out;
+}
+
+FlowOptions hyde_flow_options() {
+  return hyde::baseline::system_flow_options(hyde::baseline::System::kHyde, 5);
+}
+
+/// Windowed flow at \p threads workers; checksum mixes the stitched BLIF
+/// text with every windows_* counter, so the thread sweep proves both the
+/// network and the bookkeeping are schedule-independent.
+WorkloadResult bench_windowed(const std::string& base, const Network& input,
+                              int threads) {
+  WindowedFlowOptions options;
+  options.flow = hyde_flow_options();
+  options.threads = threads;
+  options.window_bdd_budget = kBudget;
+
+  WorkloadResult result;
+  result.name = base + "_t" + std::to_string(threads);
+  const auto start = std::chrono::steady_clock::now();
+  const hyde::part::WindowedFlowResult flow =
+      hyde::part::run_windowed_flow(input, options);
+  result.seconds = seconds_since(start);
+
+  std::uint64_t checksum = fnv1a_string(0xCBF29CE484222325ull,
+                                        hyde::net::write_blif_string(flow.network));
+  checksum = fnv1a(checksum, static_cast<std::uint64_t>(flow.stats.windows_extracted));
+  checksum = fnv1a(checksum, flow.stats.windows_resynthesized);
+  checksum = fnv1a(checksum, flow.stats.windows_passthrough);
+  checksum = fnv1a(checksum, flow.stats.windows_budget_fallbacks);
+  checksum = fnv1a(checksum, flow.stats.windows_split);
+  checksum = fnv1a(checksum, flow.stats.windows_verify_failures);
+  result.checksum = checksum;
+  result.luts = hyde::mapper::lut_count(flow.network);
+
+  if (flow.stats.windows_verify_failures != 0) {
+    std::fprintf(stderr, "window_bench: %s had window verify failures\n",
+                 result.name.c_str());
+    std::exit(1);
+  }
+  if (!flow.network.is_k_feasible(options.flow.k)) {
+    std::fprintf(stderr, "window_bench: %s result is not k-feasible\n",
+                 result.name.c_str());
+    std::exit(1);
+  }
+  if (threads == 1 &&
+      !hyde::net::check_equivalence(input, flow.network).equivalent) {
+    std::fprintf(stderr, "window_bench: %s result is not equivalent\n",
+                 result.name.c_str());
+    std::exit(1);
+  }
+  return result;
+}
+
+/// Whole-network flow; \p budget 0 = unbounded.  A std::length_error is the
+/// expected outcome for the governed run on the large netlist and is
+/// recorded, not fatal (the caller asserts which way it must go).
+WorkloadResult bench_whole(const std::string& name, const Network& input,
+                           std::size_t budget) {
+  FlowOptions options = hyde_flow_options();
+  options.bdd_node_limit = budget;
+
+  WorkloadResult result;
+  result.name = name;
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    const hyde::core::FlowResult flow = hyde::core::run_flow(input, options);
+    result.seconds = seconds_since(start);
+    result.checksum = fnv1a_string(0xCBF29CE484222325ull,
+                                   hyde::net::write_blif_string(flow.network));
+    result.luts = hyde::mapper::lut_count(flow.network);
+  } catch (const std::length_error&) {
+    result.seconds = seconds_since(start);
+    result.completed = false;
+    result.checksum = fnv1a_string(0xCBF29CE484222325ull, "did-not-complete");
+  }
+  return result;
+}
+
+void append_json(std::string& out, const WorkloadResult& r, bool last) {
+  char buf[224];
+  std::snprintf(buf, sizeof(buf),
+                "    {\"name\": \"%s\", \"seconds\": %.6f, \"checksum\": %llu, "
+                "\"completed\": %s, \"luts\": %d}%s\n",
+                r.name.c_str(), r.seconds,
+                static_cast<unsigned long long>(r.checksum),
+                r.completed ? "true" : "false", r.luts, last ? "" : ",");
+  out += buf;
+}
+
+/// Workloads with the same base name must agree on the checksum across every
+/// configuration; returns false (and reports) on any divergence.
+bool checksums_agree(const std::vector<WorkloadResult>& results) {
+  std::map<std::string, std::uint64_t> expected;
+  bool ok = true;
+  for (const auto& r : results) {
+    const std::size_t cut = r.name.rfind('_');
+    const std::string base = r.name.substr(0, cut);
+    const auto [it, inserted] = expected.emplace(base, r.checksum);
+    if (!inserted && it->second != r.checksum) {
+      std::fprintf(stderr,
+                   "window_bench: checksum mismatch for %s (%llu != %llu)\n",
+                   r.name.c_str(),
+                   static_cast<unsigned long long>(r.checksum),
+                   static_cast<unsigned long long>(it->second));
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string label = "windowed";
+  std::string out_path;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--label=", 0) == 0) {
+      label = arg.substr(8);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg == "--quick") {
+      quick = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: window_bench [--label=NAME] [--out=FILE] [--quick]\n");
+      return 2;
+    }
+  }
+
+  std::vector<WorkloadResult> results;
+
+  // Fixture-sized netlists: thread sweep plus governed/unbounded whole-path
+  // rows (same base → the budget knob must be result-neutral when it fits).
+  const std::pair<std::string, Network (*)()> small[] = {
+      {"mid", &make_mid}, {"wide", &make_wide}};
+  for (const auto& [base, make] : small) {
+    const Network input = make();
+    for (int threads : {1, 2, 4}) {
+      results.push_back(bench_windowed(base, input, threads));
+    }
+    results.push_back(bench_whole(base + "whole_gov", input, kBudget));
+    results.push_back(bench_whole(base + "whole_free", input, 0));
+  }
+
+  if (!quick) {
+    const Network input = make_scale();
+    std::fprintf(stderr, "window_bench: scale netlist has %d logic nodes\n",
+                 input.num_logic_nodes());
+    for (int threads : {1, 2, 4}) {
+      results.push_back(bench_windowed("scale", input, threads));
+    }
+    // The governance claim: under the budget every window sits far below,
+    // one global manager for the whole netlist must blow up.
+    WorkloadResult gov = bench_whole("scalegov_whole", input, kBudget);
+    if (gov.completed) {
+      std::fprintf(stderr,
+                   "window_bench: whole-network flow unexpectedly fit the "
+                   "window budget on the scale netlist\n");
+      return 1;
+    }
+    results.push_back(gov);
+    // Unbounded whole-path row for wall-clock context.
+    results.push_back(bench_whole("scalefree_whole", input, 0));
+  }
+
+  if (!checksums_agree(results)) return 1;
+
+  std::string json;
+  json += "{\n";
+  json += "  \"schema\": \"hyde.bench_window.v1\",\n";
+  json += "  \"engine\": \"" + label + "\",\n";
+  json += "  \"budget\": " + std::to_string(kBudget) + ",\n";
+  json += "  \"configs\": [\"t1\", \"t2\", \"t4\", \"whole_gov\", \"whole_free\"],\n";
+  json += "  \"workloads\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    append_json(json, results[i], i + 1 == results.size());
+  }
+  json += "  ]\n}\n";
+
+  if (out_path.empty()) {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "window_bench: cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  }
+  return 0;
+}

@@ -15,6 +15,18 @@
 ///   --search-threads <n>  parallelize candidate bound-set evaluation inside
 ///                 each flow (decomp/search.hpp; results are bit-identical
 ///                 at any thread count)
+///   --read-latches  accept sequential BLIF by extracting the combinational
+///                 core (latch outputs become PIs, latch inputs become POs)
+///
+/// Windowed mode handles netlists too large to decompose whole by
+/// resynthesizing bounded windows (src/part/) and stitching them back:
+///
+///   --in <file.blif>      run the windowed flow on a BLIF file; the mapped
+///                 result goes to -o. Output is bit-identical at every
+///                 --window-threads value.
+///   --window-inputs <n>   per-window external-signal budget (default 12)
+///   --window-nodes <n>    per-window logic-node budget (default 64)
+///   --window-threads <n>  windows resynthesized concurrently (default 1)
 ///
 /// Batch mode sweeps the whole built-in MCNC-like suite (times the selected
 /// systems) in parallel through the runtime scheduler and NPN result cache:
@@ -70,7 +82,11 @@ int usage() {
                "       hyde_cli --batch [-k n] [-s system|all] [--workers n] "
                "[--seed n] [--json file] [--csv file] [--deterministic-json] "
                "[--no-cache] [--no-verify] [--profile] [--search-threads n] "
-               "[--encoder-threads n]\n");
+               "[--encoder-threads n]\n"
+               "       hyde_cli --in circuit.blif [-k n] [-s system] "
+               "[-o out.blif] [--window-inputs n] [--window-nodes n] "
+               "[--window-threads n] [--read-latches] [--no-verify] "
+               "[--profile]\n");
   return 2;
 }
 
@@ -202,6 +218,11 @@ int main(int argc, char** argv) {
   int search_threads = 1;
   int encoder_threads = 1;
   std::uint64_t seed = 1;
+  std::string in_file;
+  int window_inputs = 12;
+  int window_nodes = 64;
+  int window_threads = 1;
+  bool read_latches = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "-k" && i + 1 < argc) {
@@ -279,6 +300,40 @@ int main(int argc, char** argv) {
         return 2;
       }
       encoder_threads = static_cast<int>(value);
+    } else if (arg == "--in" && i + 1 < argc) {
+      in_file = argv[++i];
+    } else if (arg == "--window-inputs" && i + 1 < argc) {
+      long value = 0;
+      if (!parse_long(argv[++i], &value) || value < 1 || value > 64) {
+        std::fprintf(stderr,
+                     "error: --window-inputs expects an integer in 1..64, "
+                     "got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      window_inputs = static_cast<int>(value);
+    } else if (arg == "--window-nodes" && i + 1 < argc) {
+      long value = 0;
+      if (!parse_long(argv[++i], &value) || value < 1 || value > 100000) {
+        std::fprintf(stderr,
+                     "error: --window-nodes expects an integer in 1..100000, "
+                     "got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      window_nodes = static_cast<int>(value);
+    } else if (arg == "--window-threads" && i + 1 < argc) {
+      long value = 0;
+      if (!parse_long(argv[++i], &value) || value < 1 || value > 256) {
+        std::fprintf(stderr,
+                     "error: --window-threads expects an integer in 1..256, "
+                     "got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      window_threads = static_cast<int>(value);
+    } else if (arg == "--read-latches") {
+      read_latches = true;
     } else if (arg == "--profile") {
       profile = true;
     } else if (arg == "--no-verify") {
@@ -308,6 +363,88 @@ int main(int argc, char** argv) {
                           json_path, csv_path, deterministic_json, profile,
                           search_threads, encoder_threads);
   }
+
+  if (!in_file.empty()) {
+    if (!source.empty()) {
+      std::fprintf(stderr,
+                   "error: --in runs the windowed flow; drop the positional "
+                   "circuit argument '%s'\n",
+                   source.c_str());
+      return 2;
+    }
+    if (system_name == "all") {
+      std::fprintf(stderr, "error: --in needs a single system for -s\n");
+      return 2;
+    }
+    baseline::System system = baseline::System::kHyde;
+    for (const auto& [name, sys] : known_systems()) {
+      if (system_name == name) system = sys;
+    }
+    net::Network input("empty");
+    int latches = 0;
+    try {
+      std::ifstream in(in_file);
+      if (!in) throw std::runtime_error("cannot open " + in_file);
+      net::BlifReadOptions read_options;
+      read_options.latch_combinational = read_latches;
+      net::BlifModel model = net::read_blif_model(in, read_options);
+      input = std::move(model.network);
+      latches = model.latches;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error loading %s: %s\n", in_file.c_str(),
+                   e.what());
+      return 1;
+    }
+    std::printf("loaded %s", input.stats().c_str());
+    if (latches > 0) std::printf(" (combinational core of %d latches)", latches);
+    std::printf("\n");
+
+    part::WindowedFlowOptions options;
+    options.flow = baseline::system_flow_options(system, k);
+    options.flow.seed = seed;
+    options.flow.search_threads = search_threads;
+    options.flow.encoder_threads = encoder_threads;
+    options.window.max_inputs = window_inputs;
+    options.window.max_nodes = window_nodes;
+    options.threads = window_threads;
+    const baseline::BaselineResult result =
+        baseline::run_windowed_system(input, options, verify ? 256 : 0);
+    const core::FlowStats& stats = result.stats;
+    std::printf("%-10s %5d LUTs", system_name.c_str(), result.luts);
+    if (k == 5 && result.clbs > 0) std::printf("  %5d CLBs", result.clbs);
+    std::printf("  depth %2d  %.3fs  %s\n", result.depth, result.seconds,
+                !verify           ? "unverified"
+                : result.verified ? "verified"
+                                  : "VERIFY FAILED");
+    std::printf("windows: %d extracted (peak %d inputs, %d nodes), "
+                "%d resynthesized, %d pass-through, %d budget fallbacks, "
+                "%d split, %d local verify failures\n",
+                stats.windows_extracted, stats.window_peak_inputs,
+                stats.window_peak_nodes, stats.windows_resynthesized,
+                stats.windows_passthrough, stats.windows_budget_fallbacks,
+                stats.windows_split, stats.windows_verify_failures);
+    if (profile) {
+      print_profile(stats, "  ");
+      std::printf("  extract %.3fs | stitch %.3fs\n",
+                  stats.window_extract_seconds, stats.window_stitch_seconds);
+    }
+    if (!out_blif.empty()) {
+      std::ofstream out(out_blif);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n", out_blif.c_str());
+        return 1;
+      }
+      net::write_blif(result.network, out);
+      std::printf("wrote %s\n", out_blif.c_str());
+    }
+    if (!out_pla.empty()) {
+      std::ofstream out(out_pla);
+      net::write_pla(result.network, out);
+      std::printf("wrote %s\n", out_pla.c_str());
+    }
+    return (verify && !result.verified) ? 1 : 0;
+  }
+
   if (source.empty()) return usage();
 
   // Load the circuit (and possible external don't cares).
@@ -327,7 +464,9 @@ int main(int argc, char** argv) {
     } else {
       std::ifstream in(source);
       if (!in) throw std::runtime_error("cannot open " + source);
-      net::BlifModel model = net::read_blif_model(in);
+      net::BlifReadOptions read_options;
+      read_options.latch_combinational = read_latches;
+      net::BlifModel model = net::read_blif_model(in, read_options);
       input = std::move(model.network);
       dc = std::move(model.dont_care);
       has_dc = model.has_dont_cares;

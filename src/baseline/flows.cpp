@@ -23,27 +23,27 @@ std::string system_name(System system) {
   return "?";
 }
 
+core::FlowOptions system_flow_options(System system, int k) {
+  switch (system) {
+    case System::kHyde:
+      return core::hyde_options(k);
+    case System::kImodecLike:
+      return core::imodec_like_options(k);
+    case System::kFgsynLike:
+      return core::fgsyn_like_options(k);
+    case System::kSawadaLike:
+    case System::kSawadaResubLike:
+      return core::sawada_like_options(k);
+  }
+  return core::hyde_options(k);
+}
+
 BaselineResult run_system(const net::Network& input, System system, int k,
                           int verify_vectors, std::uint64_t seed,
                           core::DecompCache* cache, int cache_max_support,
                           int search_threads, int encoder_threads,
                           bool class_signatures) {
-  core::FlowOptions options;
-  switch (system) {
-    case System::kHyde:
-      options = core::hyde_options(k);
-      break;
-    case System::kImodecLike:
-      options = core::imodec_like_options(k);
-      break;
-    case System::kFgsynLike:
-      options = core::fgsyn_like_options(k);
-      break;
-    case System::kSawadaLike:
-    case System::kSawadaResubLike:
-      options = core::sawada_like_options(k);
-      break;
-  }
+  core::FlowOptions options = system_flow_options(system, k);
   options.seed = seed;
   options.cache = cache;
   options.cache_max_support = cache_max_support;
@@ -85,6 +85,47 @@ BaselineResult run_system(const net::Network& input, System system, int k,
         net::check_equivalence(input, flow.network, eq_options).equivalent;
   }
   result.network = std::move(flow.network);
+  return result;
+}
+
+BaselineResult run_windowed_system(const net::Network& input,
+                                   const part::WindowedFlowOptions& options,
+                                   int verify_vectors) {
+  const int k = options.flow.k;
+  const auto start = std::chrono::steady_clock::now();
+  part::WindowedFlowResult windowed = part::run_windowed_flow(input, options);
+
+  // Cross-window cleanup. The dedup/collapse passes build per-node truth
+  // tables (exponential in fanin count), so they only run when every
+  // pass-through window was already k-feasible.
+  const auto map_start = std::chrono::steady_clock::now();
+  if (windowed.network.is_k_feasible(k)) {
+    mapper::dedup_shared_nodes(windowed.network);
+    mapper::collapse_into_fanouts(windowed.network, k);
+    mapper::dedup_shared_nodes(windowed.network);
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  windowed.stats.mapping_seconds +=
+      std::chrono::duration<double>(stop - map_start).count();
+
+  BaselineResult result;
+  result.stats = windowed.stats;
+  result.luts = mapper::lut_count(windowed.network);
+  result.depth = mapper::network_depth(windowed.network);
+  if (k == 5 && windowed.network.is_k_feasible(k)) {
+    result.clbs = mapper::pack_xc3000(windowed.network).num_clbs;
+  }
+  result.seconds = std::chrono::duration<double>(stop - start).count();
+  if (verify_vectors <= 0) {
+    result.verified = true;
+  } else {
+    net::EquivalenceOptions eq_options;
+    eq_options.random_vectors = verify_vectors;
+    eq_options.seed = options.flow.seed * 7919 + 17;
+    result.verified =
+        net::check_equivalence(input, windowed.network, eq_options).equivalent;
+  }
+  result.network = std::move(windowed.network);
   return result;
 }
 

@@ -12,6 +12,7 @@
 #include "core/flow.hpp"
 #include "mapper/lutmap.hpp"
 #include "mapper/xc3000.hpp"
+#include "part/windowed.hpp"
 
 namespace hyde::baseline {
 
@@ -37,6 +38,10 @@ enum class System {
 /// Human-readable system name for reports.
 std::string system_name(System system);
 
+/// The core flow configuration modelling \p system (seed and engine knobs
+/// left at their defaults; callers overwrite what they need).
+core::FlowOptions system_flow_options(System system, int k);
+
 /// Runs the full flow for \p system over \p input with k-input LUTs.
 /// \p verify_vectors random input vectors are checked (0 disables).
 /// \p cache optionally shares NPN-memoized decompositions across runs (see
@@ -55,5 +60,17 @@ BaselineResult run_system(const net::Network& input, System system, int k,
                           int cache_max_support = 7, int search_threads = 1,
                           int encoder_threads = 1,
                           bool class_signatures = true);
+
+/// Windowed variant of run_system for networks too large to decompose whole:
+/// runs part::run_windowed_flow under \p options (callers typically seed
+/// options.flow from system_flow_options), then the global mapper cleanup —
+/// skipped when budget-exhausted pass-through windows left wide nodes behind,
+/// since the cleanup's truth tables are exponential in fanin count — and the
+/// end-to-end equivalence check against \p input. Deterministic at every
+/// options.threads value. CLB packing, like the cleanup, needs a k-feasible
+/// network, so clbs stays 0 when any wide node survives.
+BaselineResult run_windowed_system(const net::Network& input,
+                                   const part::WindowedFlowOptions& options,
+                                   int verify_vectors = 256);
 
 }  // namespace hyde::baseline

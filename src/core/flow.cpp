@@ -632,6 +632,7 @@ FlowResult run_flow_once(const net::Network& input, const FlowOptions& options,
   out.set_model_name(input.model_name());
 
   bdd::Manager gm(std::max(2, input.num_nodes()));
+  if (options.bdd_node_limit != 0) gm.set_node_limit(options.bdd_node_limit);
   Decomposer decomposer(gm, out, options, stats);
 
   stats.collapse_mode =

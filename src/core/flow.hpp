@@ -101,6 +101,13 @@ struct FlowOptions {
   /// Worker threads for the encoder's snapshot-parallel Step 4 (per-class Π
   /// computation) and Step 8 (random-vs-structured image-class counts).
   int encoder_threads = 1;
+
+  /// Hard cap on live nodes in the flow's global BDD manager (0 = no limit).
+  /// Exceeding it makes the flow throw std::length_error; the windowed
+  /// engine (part/windowed.hpp) catches it and splits or passes the window
+  /// through. Result-neutral whenever the flow completes, so excluded from
+  /// the NPN-cache fingerprint like the other engine knobs.
+  std::size_t bdd_node_limit = 0;
 };
 
 /// Flow outcome counters (area is the post-sweep logic node count; the
@@ -142,6 +149,22 @@ struct FlowStats {
   std::uint64_t class_signature_pairs = 0;
   std::uint64_t class_bdd_pairs = 0;
   std::uint64_t encoder_parallel_tasks = 0;
+
+  // Windowed-decomposition counters (part/windowed.hpp). Deterministic for
+  // fixed (input, options) — extraction, budget fallbacks and splits never
+  // depend on the window thread count — but only the windowed engine
+  // populates them, so they are reported in the volatile sections next to
+  // the other engine blocks.
+  int windows_extracted = 0;
+  int windows_resynthesized = 0;
+  int windows_passthrough = 0;
+  int windows_budget_fallbacks = 0;  ///< window flows that blew the BDD budget
+  int windows_split = 0;             ///< windows halved after a budget blowout
+  int windows_verify_failures = 0;   ///< per-window checks that forced pass-through
+  int window_peak_inputs = 0;        ///< widest extracted window (boundary signals)
+  int window_peak_nodes = 0;         ///< largest extracted window (members)
+  double window_extract_seconds = 0.0;  ///< volatile wall clock
+  double window_stitch_seconds = 0.0;   ///< volatile wall clock
 
   // Per-phase wall-clock breakdown (volatile; seconds). varpart is the
   // bound-set search engine's self-timed total, classes covers

@@ -8,11 +8,20 @@
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace hyde::net {
 
 namespace {
+
+/// Every parse error names its 1-based source line and the offending token,
+/// so a bad file is diagnosable without bisecting it by hand.
+[[noreturn]] void fail(int line_no, const std::string& token,
+                       const std::string& message) {
+  throw std::runtime_error("BLIF line " + std::to_string(line_no) + ": " +
+                           message + " (near '" + token + "')");
+}
 
 std::vector<std::string> tokenize(const std::string& line) {
   std::vector<std::string> tokens;
@@ -22,11 +31,20 @@ std::vector<std::string> tokenize(const std::string& line) {
   return tokens;
 }
 
+/// One logical line: tokens plus the 1-based number of the physical line it
+/// started on (continuations keep the first line's number).
+struct LogicalLine {
+  int line_no = 0;
+  std::vector<std::string> tokens;
+};
+
 /// Reads logical lines: strips comments, joins '\' continuations.
-std::vector<std::vector<std::string>> logical_lines(std::istream& in) {
-  std::vector<std::vector<std::string>> lines;
+std::vector<LogicalLine> logical_lines(std::istream& in) {
+  std::vector<LogicalLine> lines;
   std::string raw, pending;
+  int physical = 0, pending_start = 0;
   while (std::getline(in, raw)) {
+    ++physical;
     if (auto hash = raw.find('#'); hash != std::string::npos) {
       raw.erase(hash);
     }
@@ -36,6 +54,7 @@ std::vector<std::vector<std::string>> logical_lines(std::istream& in) {
       raw.erase(bs);
       continued = true;
     }
+    if (pending.empty()) pending_start = physical;
     pending += raw;
     if (continued) {
       pending += ' ';
@@ -43,7 +62,11 @@ std::vector<std::vector<std::string>> logical_lines(std::istream& in) {
     }
     auto tokens = tokenize(pending);
     pending.clear();
-    if (!tokens.empty()) lines.push_back(std::move(tokens));
+    if (!tokens.empty()) lines.push_back({pending_start, std::move(tokens)});
+  }
+  if (!pending.empty()) {
+    auto tokens = tokenize(pending);
+    if (!tokens.empty()) lines.push_back({pending_start, std::move(tokens)});
   }
   return lines;
 }
@@ -54,81 +77,103 @@ struct NamesBlock {
   std::vector<std::string> cubes;  // input parts only
   char phase = '1';
   bool phase_set = false;
+  int line_no = 0;  ///< the .names line, for errors found while building
 };
-
-}  // namespace
-
-namespace {
 
 /// Parsed dot-structure of one BLIF section (main model or .exdc body).
 struct ParsedSection {
   std::string model_name = "top";
   std::vector<std::string> input_names, output_names;
   std::map<std::string, NamesBlock> blocks;
+  /// `.latch` data signals in file order (latch-input first), kept only in
+  /// latch_combinational mode: outputs become PIs, inputs become POs.
+  std::vector<std::pair<std::string, std::string>> latches;
+  std::vector<int> latch_lines;  ///< parallel to latches, for late errors
+  int outputs_line = 0;  ///< first .outputs line, for undefined-PO errors
 };
 
-ParsedSection parse_section(const std::vector<std::vector<std::string>>& lines) {
+ParsedSection parse_section(const std::vector<LogicalLine>& lines,
+                            const BlifReadOptions& options) {
   ParsedSection section;
-  auto& model_name = section.model_name;
-  auto& input_names = section.input_names;
-  auto& output_names = section.output_names;
-  auto& blocks = section.blocks;
   NamesBlock* current = nullptr;
 
-  for (const auto& tokens : lines) {
+  for (const LogicalLine& line : lines) {
+    const std::vector<std::string>& tokens = line.tokens;
+    const int line_no = line.line_no;
     const std::string& head = tokens[0];
     if (head == ".model") {
-      if (tokens.size() >= 2) model_name = tokens[1];
+      if (tokens.size() >= 2) section.model_name = tokens[1];
       current = nullptr;
     } else if (head == ".inputs") {
-      input_names.insert(input_names.end(), tokens.begin() + 1, tokens.end());
+      section.input_names.insert(section.input_names.end(),
+                                 tokens.begin() + 1, tokens.end());
       current = nullptr;
     } else if (head == ".outputs") {
-      output_names.insert(output_names.end(), tokens.begin() + 1, tokens.end());
+      if (section.outputs_line == 0) section.outputs_line = line_no;
+      section.output_names.insert(section.output_names.end(),
+                                  tokens.begin() + 1, tokens.end());
       current = nullptr;
     } else if (head == ".names") {
-      if (tokens.size() < 2) throw std::runtime_error("BLIF: .names without signals");
+      if (tokens.size() < 2) fail(line_no, head, ".names without signals");
       NamesBlock block;
       block.inputs.assign(tokens.begin() + 1, tokens.end() - 1);
       block.output = tokens.back();
-      auto [it, inserted] = blocks.insert_or_assign(block.output, std::move(block));
+      block.line_no = line_no;
+      auto [it, inserted] =
+          section.blocks.insert_or_assign(block.output, std::move(block));
       if (!inserted) {
-        throw std::runtime_error("BLIF: signal defined twice: " + it->first);
+        fail(line_no, it->first, "signal defined twice");
       }
       current = &it->second;
     } else if (head == ".end") {
       current = nullptr;
-    } else if (head == ".latch" || head == ".subckt" || head == ".gate") {
-      throw std::runtime_error("BLIF: unsupported construct " + head +
-                               " (only combinational .names models)");
+    } else if (head == ".latch") {
+      if (!options.latch_combinational) {
+        fail(line_no, head,
+             "unsupported construct .latch (sequential model; set "
+             "latch_combinational to extract the combinational core)");
+      }
+      // `.latch <input> <output> [<type> <control>] [<init-val>]`
+      if (tokens.size() < 3) {
+        fail(line_no, head, ".latch needs an input and an output signal");
+      }
+      section.latches.emplace_back(tokens[1], tokens[2]);
+      section.latch_lines.push_back(line_no);
+      current = nullptr;
+    } else if (head == ".subckt" || head == ".gate") {
+      fail(line_no, head,
+           "unsupported construct " + head + " (only flat .names models)");
     } else if (head[0] == '.') {
       current = nullptr;  // ignore unknown dot-directives (.default_input_arrival etc.)
     } else {
       // Cover row inside the current .names block.
       if (current == nullptr) {
-        throw std::runtime_error("BLIF: cover row outside .names: " + head);
+        fail(line_no, head, "cover row outside .names");
       }
       std::string in_part;
       char out_part;
       if (current->inputs.empty()) {
         if (tokens.size() != 1 || tokens[0].size() != 1) {
-          throw std::runtime_error("BLIF: bad constant cover for " + current->output);
+          fail(line_no, tokens[0],
+               "bad constant cover for " + current->output);
         }
         in_part = "";
         out_part = tokens[0][0];
       } else {
         if (tokens.size() != 2 || tokens[0].size() != current->inputs.size() ||
             tokens[1].size() != 1) {
-          throw std::runtime_error("BLIF: bad cover row for " + current->output);
+          fail(line_no, tokens[0], "bad cover row for " + current->output);
         }
         in_part = tokens[0];
         out_part = tokens[1][0];
       }
       if (out_part != '0' && out_part != '1') {
-        throw std::runtime_error("BLIF: bad output phase for " + current->output);
+        fail(line_no, std::string(1, out_part),
+             "bad output phase for " + current->output);
       }
       if (current->phase_set && current->phase != out_part) {
-        throw std::runtime_error("BLIF: mixed output phases for " + current->output);
+        fail(line_no, std::string(1, out_part),
+             "mixed output phases for " + current->output);
       }
       current->phase = out_part;
       current->phase_set = true;
@@ -138,6 +183,28 @@ ParsedSection parse_section(const std::vector<std::vector<std::string>>& lines) 
   return section;
 }
 
+/// Rewrites a sequential section into its combinational core: latch outputs
+/// join the primary inputs, latch inputs join the primary outputs. The
+/// network between the registers is exactly what the mapping flows consume.
+void absorb_latches(ParsedSection* section) {
+  for (std::size_t i = 0; i < section->latches.size(); ++i) {
+    const auto& [data_in, data_out] = section->latches[i];
+    const int line_no = section->latch_lines[i];
+    if (section->blocks.count(data_out) != 0) {
+      fail(line_no, data_out, "latch output also defined by .names");
+    }
+    if (std::find(section->input_names.begin(), section->input_names.end(),
+                  data_out) != section->input_names.end()) {
+      fail(line_no, data_out, "latch output already a primary input");
+    }
+    section->input_names.push_back(data_out);
+    if (std::find(section->output_names.begin(), section->output_names.end(),
+                  data_in) == section->output_names.end()) {
+      section->output_names.push_back(data_in);
+    }
+  }
+}
+
 /// Builds a network from a parsed section. When \p missing_outputs_as_zero
 /// is set (the .exdc case) undefined output signals become constant 0.
 Network build_section(const ParsedSection& section,
@@ -145,20 +212,24 @@ Network build_section(const ParsedSection& section,
   Network network(section.model_name);
   for (const auto& name : section.input_names) network.add_input(name);
 
-  // Create logic nodes on demand, following dependencies.
-  std::function<NodeId(const std::string&)> build =
-      [&](const std::string& name) -> NodeId {
+  // Create logic nodes on demand, following dependencies. referenced_at is
+  // the line to blame when a signal has no definition.
+  std::function<NodeId(const std::string&, int)> build =
+      [&](const std::string& name, int referenced_at) -> NodeId {
     if (NodeId existing = network.find(name); existing != kNoNode) {
       return existing;
     }
     auto it = section.blocks.find(name);
     if (it == section.blocks.end()) {
-      throw std::runtime_error("BLIF: undefined signal " + name);
+      fail(referenced_at == 0 ? section.outputs_line : referenced_at, name,
+           "undefined signal");
     }
     const NamesBlock& block = it->second;
     std::vector<NodeId> fanins;
     fanins.reserve(block.inputs.size());
-    for (const auto& in_name : block.inputs) fanins.push_back(build(in_name));
+    for (const auto& in_name : block.inputs) {
+      fanins.push_back(build(in_name, block.line_no));
+    }
 
     bdd::Manager& mgr = network.manager();
     mgr.ensure_vars(static_cast<int>(block.inputs.size()));
@@ -171,7 +242,7 @@ Network build_section(const ParsedSection& section,
         } else if (cube[i] == '0') {
           product = product & mgr.nvar(static_cast<int>(i));
         } else if (cube[i] != '-') {
-          throw std::runtime_error("BLIF: bad cube character in " + name);
+          fail(block.line_no, cube, "bad cube character in cover of " + name);
         }
       }
       sum = sum | product;
@@ -186,7 +257,7 @@ Network build_section(const ParsedSection& section,
                   name) == section.input_names.end()) {
       network.add_output(name, network.add_constant(name, false));
     } else {
-      network.add_output(name, build(name));
+      network.add_output(name, build(name, 0));
     }
   }
   return network;
@@ -194,26 +265,28 @@ Network build_section(const ParsedSection& section,
 
 }  // namespace
 
-BlifModel read_blif_model(std::istream& in) {
+BlifModel read_blif_model(std::istream& in, const BlifReadOptions& options) {
   const auto lines = logical_lines(in);
   // Split at `.exdc`: everything after it (up to `.end`) is the don't-care
   // network's body.
-  std::vector<std::vector<std::string>> main_lines, exdc_lines;
+  std::vector<LogicalLine> main_lines, exdc_lines;
   bool in_exdc = false;
-  for (const auto& tokens : lines) {
-    if (tokens[0] == ".exdc") {
+  for (const LogicalLine& line : lines) {
+    if (line.tokens[0] == ".exdc") {
       in_exdc = true;
       continue;
     }
-    (in_exdc ? exdc_lines : main_lines).push_back(tokens);
+    (in_exdc ? exdc_lines : main_lines).push_back(line);
   }
 
   BlifModel model;
-  const ParsedSection main_section = parse_section(main_lines);
+  ParsedSection main_section = parse_section(main_lines, options);
+  model.latches = static_cast<int>(main_section.latches.size());
+  if (!main_section.latches.empty()) absorb_latches(&main_section);
   model.network = build_section(main_section, /*missing_outputs_as_zero=*/false);
   model.has_dont_cares = in_exdc;
   if (in_exdc) {
-    ParsedSection dc_section = parse_section(exdc_lines);
+    ParsedSection dc_section = parse_section(exdc_lines, options);
     // The exdc body shares the main model's interface.
     dc_section.model_name = main_section.model_name + "_exdc";
     dc_section.input_names = main_section.input_names;
@@ -223,13 +296,14 @@ BlifModel read_blif_model(std::istream& in) {
   return model;
 }
 
-BlifModel read_blif_model_string(const std::string& text) {
+BlifModel read_blif_model_string(const std::string& text,
+                                 const BlifReadOptions& options) {
   std::istringstream is(text);
-  return read_blif_model(is);
+  return read_blif_model(is, options);
 }
 
-Network read_blif(std::istream& in) {
-  BlifModel model = read_blif_model(in);
+Network read_blif(std::istream& in, const BlifReadOptions& options) {
+  BlifModel model = read_blif_model(in, options);
   if (model.has_dont_cares) {
     throw std::runtime_error(
         "BLIF: .exdc present; use read_blif_model to keep the don't cares");
@@ -237,9 +311,10 @@ Network read_blif(std::istream& in) {
   return std::move(model.network);
 }
 
-Network read_blif_string(const std::string& text) {
+Network read_blif_string(const std::string& text,
+                         const BlifReadOptions& options) {
   std::istringstream is(text);
-  return read_blif(is);
+  return read_blif(is, options);
 }
 
 namespace {

@@ -4,7 +4,11 @@
 /// Supports the combinational subset used by the MCNC benchmarks:
 /// `.model`, `.inputs`, `.outputs`, `.names` (SOP covers with `0`/`1`/`-`
 /// inputs and a constant output phase), comments and line continuations.
-/// Latches and subcircuits are rejected with a descriptive error.
+/// Sequential models (`.latch`) are rejected by default; with
+/// BlifReadOptions::latch_combinational the reader extracts the
+/// combinational core instead (latch outputs become primary inputs, latch
+/// inputs become primary outputs). `.subckt`/`.gate` are always rejected.
+/// Parse errors carry the 1-based line number and the offending token.
 
 #pragma once
 
@@ -15,28 +19,39 @@
 
 namespace hyde::net {
 
+struct BlifReadOptions {
+  /// Accept `.latch` by extracting the combinational core: every latch
+  /// output becomes a primary input and every latch input becomes a primary
+  /// output, so the returned network is the netlist between the registers.
+  /// Off (the default) keeps the strict combinational-only behaviour.
+  bool latch_combinational = false;
+};
+
 /// Parses a BLIF model from a stream. Throws std::runtime_error on syntax
 /// errors or unsupported constructs (including `.exdc`; use read_blif_model
 /// for networks with external don't cares).
-Network read_blif(std::istream& in);
+Network read_blif(std::istream& in, const BlifReadOptions& options = {});
 
 /// Parses a BLIF model from a string.
-Network read_blif_string(const std::string& text);
+Network read_blif_string(const std::string& text,
+                         const BlifReadOptions& options = {});
 
 /// A BLIF model with an optional `.exdc` external-don't-care network.
 struct BlifModel {
   Network network;
   Network dont_care;        ///< same PIs; one output per exdc-covered PO
   bool has_dont_cares = false;
+  int latches = 0;          ///< `.latch` lines absorbed by the combinational core
 };
 
 /// Parses a BLIF model, accepting an `.exdc` section: the don't-care network
 /// shares the main model's primary inputs; POs without an exdc cover get a
 /// constant-0 don't-care function.
-BlifModel read_blif_model(std::istream& in);
+BlifModel read_blif_model(std::istream& in, const BlifReadOptions& options = {});
 
 /// Parses a BLIF model (with optional `.exdc`) from a string.
-BlifModel read_blif_model_string(const std::string& text);
+BlifModel read_blif_model_string(const std::string& text,
+                                 const BlifReadOptions& options = {});
 
 /// Writes the network in BLIF. Every live logic node becomes a `.names`
 /// block whose cover is derived from the node's BDD 1-paths (a disjoint SOP).

@@ -1,0 +1,322 @@
+#include "part/windowed.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "mapper/lutmap.hpp"
+#include "net/verify.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace hyde::part {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// One stitchable unit: a (possibly split-descendant) window either carrying
+/// its resynthesized sub-network or marked pass-through.
+struct StitchPiece {
+  Window window;
+  bool resynthesized = false;
+  net::Network mapped{"unmapped"};
+};
+
+/// Result of resynthesizing one extracted window, possibly as several split
+/// pieces (topological order preserved).
+struct WindowOutcome {
+  std::vector<StitchPiece> pieces;
+  core::FlowStats stats;
+};
+
+/// Folds a per-window flow's counters into the engine totals (mirrors the
+/// multipass accumulation in core::run_flow).
+void accumulate_flow_stats(core::FlowStats* into, const core::FlowStats& s) {
+  into->decomposition_steps += s.decomposition_steps;
+  into->shannon_fallbacks += s.shannon_fallbacks;
+  into->hyper_groups += s.hyper_groups;
+  into->encoder_runs += s.encoder_runs;
+  into->encoder_random_kept += s.encoder_random_kept;
+  into->cache_lookups += s.cache_lookups;
+  into->bdd_cache_hits += s.bdd_cache_hits;
+  into->bdd_cache_misses += s.bdd_cache_misses;
+  into->bdd_cache_overwrites += s.bdd_cache_overwrites;
+  into->bdd_gc_runs += s.bdd_gc_runs;
+  into->bdd_peak_live_nodes =
+      std::max(into->bdd_peak_live_nodes, s.bdd_peak_live_nodes);
+  into->absorb_search_and_phases(s);
+}
+
+/// Resynthesizes one window, splitting on budget blowouts. Returns the final
+/// pieces in topological order; never throws for a budget reason.
+///
+/// \p host_mutex serializes sub-network extraction: cloning a window reads
+/// the host's BDDs, and even read-only BDD handle traffic bumps non-atomic
+/// reference counts in the host manager. Everything after extraction runs on
+/// the window's own manager, shared-nothing. Null means single-threaded.
+WindowOutcome resynthesize_window(const net::Network& host, Window window,
+                                  const WindowedFlowOptions& options,
+                                  int depth, std::mutex* host_mutex) {
+  WindowOutcome outcome;
+  if (!window.needs_resynthesis || window.roots.empty()) {
+    outcome.stats.windows_passthrough += 1;
+    outcome.pieces.push_back(StitchPiece{std::move(window), false,
+                                         net::Network("unmapped")});
+    return outcome;
+  }
+
+  const net::Network sub = [&] {
+    std::unique_lock<std::mutex> lock;
+    if (host_mutex != nullptr) lock = std::unique_lock<std::mutex>(*host_mutex);
+    return window_subnetwork(host, window);
+  }();
+  core::FlowOptions flow_options = options.flow;
+  flow_options.bdd_node_limit = options.window_bdd_budget;
+  bool blew_budget = false;
+  core::FlowResult flow;
+  try {
+    flow = core::run_flow(sub, flow_options);
+  } catch (const std::length_error&) {
+    blew_budget = true;
+  } catch (const std::bad_alloc&) {
+    blew_budget = true;
+  }
+
+  if (blew_budget) {
+    outcome.stats.windows_budget_fallbacks += 1;
+    if (depth < options.max_split_depth && window.members.size() >= 2) {
+      // Halve along the member interval: topological halves of a convex
+      // window stay convex, so the pieces remain stitchable in order.
+      outcome.stats.windows_split += 1;
+      const std::size_t mid = window.members.size() / 2;
+      std::vector<net::NodeId> lo(window.members.begin(),
+                                  window.members.begin() +
+                                      static_cast<std::ptrdiff_t>(mid));
+      std::vector<net::NodeId> hi(window.members.begin() +
+                                      static_cast<std::ptrdiff_t>(mid),
+                                  window.members.end());
+      for (auto* half : {&lo, &hi}) {
+        WindowOutcome part = resynthesize_window(
+            host, make_window(host, std::move(*half), window.index,
+                              options.flow.k),
+            options, depth + 1, host_mutex);
+        accumulate_flow_stats(&outcome.stats, part.stats);
+        outcome.stats.windows_passthrough += part.stats.windows_passthrough;
+        outcome.stats.windows_resynthesized +=
+            part.stats.windows_resynthesized;
+        outcome.stats.windows_budget_fallbacks +=
+            part.stats.windows_budget_fallbacks;
+        outcome.stats.windows_split += part.stats.windows_split;
+        outcome.stats.windows_verify_failures +=
+            part.stats.windows_verify_failures;
+        for (StitchPiece& piece : part.pieces) {
+          outcome.pieces.push_back(std::move(piece));
+        }
+      }
+      return outcome;
+    }
+    outcome.stats.windows_passthrough += 1;
+    outcome.pieces.push_back(StitchPiece{std::move(window), false,
+                                         net::Network("unmapped")});
+    return outcome;
+  }
+
+  accumulate_flow_stats(&outcome.stats, flow.stats);
+  if (options.map_windows) {
+    const auto map_start = std::chrono::steady_clock::now();
+    mapper::dedup_shared_nodes(flow.network);
+    mapper::collapse_into_fanouts(flow.network, options.flow.k);
+    mapper::dedup_shared_nodes(flow.network);
+    outcome.stats.mapping_seconds += seconds_since(map_start);
+  }
+
+  if (options.verify_windows) {
+    const bool ok =
+        net::check_equivalence(sub, flow.network).equivalent;
+    if (!ok) {
+      // A failed local check means a bug somewhere upstream; degrade to
+      // pass-through (counted, never silently wrong) instead of stitching a
+      // bad window into the result.
+      outcome.stats.windows_verify_failures += 1;
+      outcome.stats.windows_passthrough += 1;
+      outcome.pieces.push_back(StitchPiece{std::move(window), false,
+                                           net::Network("unmapped")});
+      return outcome;
+    }
+  }
+
+  outcome.stats.windows_resynthesized += 1;
+  outcome.pieces.push_back(
+      StitchPiece{std::move(window), true, std::move(flow.network)});
+  return outcome;
+}
+
+/// Clones a pass-through window's members verbatim (host names kept when
+/// free; readers connect by id, so a rename is cosmetic).
+void stitch_passthrough(const net::Network& host, const Window& window,
+                        net::Network* result,
+                        std::vector<net::NodeId>* host_to_result) {
+  for (net::NodeId m : window.members) {
+    const net::Node& n = host.node(m);
+    std::vector<net::NodeId> fanins;
+    fanins.reserve(n.fanins.size());
+    for (net::NodeId f : n.fanins) {
+      fanins.push_back((*host_to_result)[static_cast<std::size_t>(f)]);
+    }
+    std::vector<int> var_map(n.fanins.size());
+    for (std::size_t i = 0; i < var_map.size(); ++i) {
+      var_map[i] = static_cast<int>(i);
+    }
+    result->manager().ensure_vars(static_cast<int>(n.fanins.size()));
+    const std::string name =
+        result->find(n.name) == net::kNoNode ? n.name
+                                             : result->fresh_name(n.name);
+    (*host_to_result)[static_cast<std::size_t>(m)] = result->add_logic(
+        name, std::move(fanins),
+        bdd::transfer(n.local, result->manager(), var_map));
+  }
+}
+
+/// Instantiates a resynthesized window's mapped sub-network into the result,
+/// wiring its PIs to the already-stitched boundary signals and registering
+/// its PO drivers as the window roots' new implementations.
+void stitch_resynthesized(const net::Network& host, const StitchPiece& piece,
+                          net::Network* result,
+                          std::vector<net::NodeId>* host_to_result) {
+  const Window& window = piece.window;
+  const net::Network& mapped = piece.mapped;
+  std::unordered_map<std::string, net::NodeId> input_by_name;
+  for (net::NodeId i : window.inputs) {
+    input_by_name.emplace(host.node(i).name, i);
+  }
+  const std::string prefix = "w" + std::to_string(window.index);
+  std::vector<net::NodeId> mapped_to_result(
+      static_cast<std::size_t>(mapped.num_nodes()), net::kNoNode);
+  for (net::NodeId id : mapped.topo_order()) {
+    const net::Node& n = mapped.node(id);
+    if (n.kind == net::NodeKind::kInput) {
+      const net::NodeId host_id = input_by_name.at(n.name);
+      mapped_to_result[static_cast<std::size_t>(id)] =
+          (*host_to_result)[static_cast<std::size_t>(host_id)];
+      continue;
+    }
+    std::vector<net::NodeId> fanins;
+    fanins.reserve(n.fanins.size());
+    for (net::NodeId f : n.fanins) {
+      fanins.push_back(mapped_to_result[static_cast<std::size_t>(f)]);
+    }
+    std::vector<int> var_map(n.fanins.size());
+    for (std::size_t i = 0; i < var_map.size(); ++i) {
+      var_map[i] = static_cast<int>(i);
+    }
+    result->manager().ensure_vars(static_cast<int>(n.fanins.size()));
+    mapped_to_result[static_cast<std::size_t>(id)] = result->add_logic(
+        result->fresh_name(prefix), std::move(fanins),
+        bdd::transfer(n.local, result->manager(), var_map));
+  }
+  // Sub-network POs were declared in window.roots order by
+  // window_subnetwork, and run_flow plus the mapper preserve output order.
+  for (std::size_t j = 0; j < window.roots.size(); ++j) {
+    (*host_to_result)[static_cast<std::size_t>(window.roots[j])] =
+        mapped_to_result[static_cast<std::size_t>(
+            mapped.outputs()[j].driver)];
+  }
+}
+
+}  // namespace
+
+WindowedFlowResult run_windowed_flow(const net::Network& input,
+                                     const WindowedFlowOptions& options) {
+  WindowedFlowResult result;
+  core::FlowStats& stats = result.stats;
+
+  WindowOptions window_options = options.window;
+  window_options.k = options.flow.k;
+  const auto extract_start = std::chrono::steady_clock::now();
+  const std::vector<Window> windows = extract_windows(input, window_options);
+  stats.window_extract_seconds = seconds_since(extract_start);
+  stats.windows_extracted = static_cast<int>(windows.size());
+  for (const Window& w : windows) {
+    stats.window_peak_inputs =
+        std::max(stats.window_peak_inputs, static_cast<int>(w.inputs.size()));
+    stats.window_peak_nodes =
+        std::max(stats.window_peak_nodes, static_cast<int>(w.members.size()));
+  }
+
+  // Per-window resynthesis: shared-nothing jobs, results slotted by window
+  // index so every downstream step is schedule-independent.
+  std::vector<WindowOutcome> outcomes(windows.size());
+  if (options.threads <= 1) {
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+      outcomes[i] = resynthesize_window(input, windows[i], options, 0, nullptr);
+    }
+  } else {
+    // Host-manager gate: window extraction reads host BDDs, whose handle
+    // reference counts are not atomic. Flows themselves stay lock-free.
+    std::mutex host_mutex;
+    std::vector<std::exception_ptr> errors(windows.size());
+    {
+      runtime::JobScheduler pool(options.threads);
+      for (std::size_t i = 0; i < windows.size(); ++i) {
+        pool.submit([&, i] {
+          try {
+            outcomes[i] =
+                resynthesize_window(input, windows[i], options, 0, &host_mutex);
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+        });
+      }
+      pool.wait_idle();
+    }
+    for (const std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+  }
+
+  // Deterministic stitch: windows in extraction order (their condensation is
+  // acyclic by convexity), pieces in split order within each window.
+  const auto stitch_start = std::chrono::steady_clock::now();
+  net::Network& out = result.network;
+  out.set_model_name(input.model_name());
+  std::vector<net::NodeId> host_to_result(
+      static_cast<std::size_t>(input.num_nodes()), net::kNoNode);
+  for (net::NodeId pi : input.inputs()) {
+    host_to_result[static_cast<std::size_t>(pi)] =
+        out.add_input(input.node(pi).name);
+  }
+  for (WindowOutcome& outcome : outcomes) {
+    accumulate_flow_stats(&stats, outcome.stats);
+    stats.windows_resynthesized += outcome.stats.windows_resynthesized;
+    stats.windows_passthrough += outcome.stats.windows_passthrough;
+    stats.windows_budget_fallbacks += outcome.stats.windows_budget_fallbacks;
+    stats.windows_split += outcome.stats.windows_split;
+    stats.windows_verify_failures += outcome.stats.windows_verify_failures;
+    for (const StitchPiece& piece : outcome.pieces) {
+      if (piece.resynthesized) {
+        stitch_resynthesized(input, piece, &out, &host_to_result);
+      } else {
+        stitch_passthrough(input, piece.window, &out, &host_to_result);
+      }
+    }
+  }
+  for (const net::Output& o : input.outputs()) {
+    out.add_output(o.name,
+                   host_to_result[static_cast<std::size_t>(o.driver)]);
+  }
+  out.sweep();
+  stats.window_stitch_seconds = seconds_since(stitch_start);
+  return result;
+}
+
+}  // namespace hyde::part

@@ -1,5 +1,6 @@
 #include "runtime/batch.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <thread>
@@ -94,6 +95,22 @@ RunReport run_batch(const std::vector<BatchJob>& jobs,
     report.classes.signature_pairs += job.stats.class_signature_pairs;
     report.classes.bdd_pairs += job.stats.class_bdd_pairs;
     report.classes.encoder_parallel_tasks += job.stats.encoder_parallel_tasks;
+    report.windows.extracted +=
+        static_cast<std::uint64_t>(job.stats.windows_extracted);
+    report.windows.resynthesized +=
+        static_cast<std::uint64_t>(job.stats.windows_resynthesized);
+    report.windows.passthrough +=
+        static_cast<std::uint64_t>(job.stats.windows_passthrough);
+    report.windows.budget_fallbacks +=
+        static_cast<std::uint64_t>(job.stats.windows_budget_fallbacks);
+    report.windows.split +=
+        static_cast<std::uint64_t>(job.stats.windows_split);
+    report.windows.verify_failures +=
+        static_cast<std::uint64_t>(job.stats.windows_verify_failures);
+    report.windows.peak_inputs =
+        std::max(report.windows.peak_inputs, job.stats.window_peak_inputs);
+    report.windows.peak_nodes =
+        std::max(report.windows.peak_nodes, job.stats.window_peak_nodes);
   }
   report.cache.unique_functions = cache.size();
   const NpnCacheCounters counters = cache.counters();

@@ -77,6 +77,19 @@ std::string to_json(const RunReport& report, bool include_volatile) {
     out += ", \"encoder_parallel_tasks\": " +
            std::to_string(report.classes.encoder_parallel_tasks);
     out += "},\n";
+    out += "  \"windows\": {";
+    out += "\"extracted\": " + std::to_string(report.windows.extracted);
+    out += ", \"resynthesized\": " +
+           std::to_string(report.windows.resynthesized);
+    out += ", \"passthrough\": " + std::to_string(report.windows.passthrough);
+    out += ", \"budget_fallbacks\": " +
+           std::to_string(report.windows.budget_fallbacks);
+    out += ", \"split\": " + std::to_string(report.windows.split);
+    out += ", \"verify_failures\": " +
+           std::to_string(report.windows.verify_failures);
+    out += ", \"peak_inputs\": " + std::to_string(report.windows.peak_inputs);
+    out += ", \"peak_nodes\": " + std::to_string(report.windows.peak_nodes);
+    out += "},\n";
   }
   out += "  \"cache\": {\n";
   out += std::string("    \"enabled\": ") +
@@ -154,6 +167,26 @@ std::string to_json(const RunReport& report, bool include_volatile) {
       out += ", \"encoder_parallel_tasks\": " +
              std::to_string(job.stats.encoder_parallel_tasks);
       out += "}";
+      out += ",\n      \"windows\": {";
+      out += "\"extracted\": " + std::to_string(job.stats.windows_extracted);
+      out += ", \"resynthesized\": " +
+             std::to_string(job.stats.windows_resynthesized);
+      out += ", \"passthrough\": " +
+             std::to_string(job.stats.windows_passthrough);
+      out += ", \"budget_fallbacks\": " +
+             std::to_string(job.stats.windows_budget_fallbacks);
+      out += ", \"split\": " + std::to_string(job.stats.windows_split);
+      out += ", \"verify_failures\": " +
+             std::to_string(job.stats.windows_verify_failures);
+      out += ", \"peak_inputs\": " +
+             std::to_string(job.stats.window_peak_inputs);
+      out += ", \"peak_nodes\": " +
+             std::to_string(job.stats.window_peak_nodes);
+      out += ", \"extract_seconds\": " +
+             format_double(job.stats.window_extract_seconds);
+      out += ", \"stitch_seconds\": " +
+             format_double(job.stats.window_stitch_seconds);
+      out += "}";
       out += ",\n      \"profile\": {";
       out += "\"varpart_seconds\": " +
              format_double(job.stats.varpart_seconds);
@@ -181,7 +214,9 @@ std::string to_csv(const RunReport& report) {
       "bdd_cache_hits,bdd_cache_misses,bdd_gc_runs,bdd_peak_live_nodes,"
       "search_selects,search_evaluated,search_pruned,search_memo_hits,"
       "varpart_seconds,classes_seconds,encoding_seconds,mapping_seconds,"
-      "class_signature_pairs,class_bdd_pairs,encoder_parallel_tasks\n";
+      "class_signature_pairs,class_bdd_pairs,encoder_parallel_tasks,"
+      "windows_extracted,windows_resynthesized,windows_passthrough,"
+      "windows_budget_fallbacks,windows_split,windows_verify_failures\n";
   for (const JobReport& job : report.jobs) {
     out += job.circuit + "," + job.system + "," + std::to_string(job.k) + "," +
            std::to_string(job.seed) + "," + std::to_string(job.luts) + "," +
@@ -209,7 +244,13 @@ std::string to_csv(const RunReport& report) {
            format_double(job.stats.mapping_seconds) + "," +
            std::to_string(job.stats.class_signature_pairs) + "," +
            std::to_string(job.stats.class_bdd_pairs) + "," +
-           std::to_string(job.stats.encoder_parallel_tasks) + "\n";
+           std::to_string(job.stats.encoder_parallel_tasks) + "," +
+           std::to_string(job.stats.windows_extracted) + "," +
+           std::to_string(job.stats.windows_resynthesized) + "," +
+           std::to_string(job.stats.windows_passthrough) + "," +
+           std::to_string(job.stats.windows_budget_fallbacks) + "," +
+           std::to_string(job.stats.windows_split) + "," +
+           std::to_string(job.stats.windows_verify_failures) + "\n";
   }
   return out;
 }

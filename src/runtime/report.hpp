@@ -96,6 +96,20 @@ struct ClassesReport {
   std::uint64_t encoder_parallel_tasks = 0;
 };
 
+/// Aggregated windowed-engine figures for the whole batch (reported in the
+/// volatile sections next to the other engine blocks, though the counters
+/// themselves are schedule-independent — see core::FlowStats).
+struct WindowsReport {
+  std::uint64_t extracted = 0;
+  std::uint64_t resynthesized = 0;
+  std::uint64_t passthrough = 0;
+  std::uint64_t budget_fallbacks = 0;
+  std::uint64_t split = 0;
+  std::uint64_t verify_failures = 0;
+  int peak_inputs = 0;  ///< max over jobs
+  int peak_nodes = 0;   ///< max over jobs
+};
+
 struct RunReport {
   int verify_vectors = 0;
   std::vector<JobReport> jobs;  ///< submission order, independent of finish order
@@ -103,6 +117,7 @@ struct RunReport {
   BddKernelReport bdd;       ///< volatile
   SearchReport search;       ///< volatile
   ClassesReport classes;     ///< volatile
+  WindowsReport windows;     ///< volatile section; windowed jobs only
   int workers = 1;           ///< volatile
   double wall_seconds = 0.0;  ///< volatile
 

@@ -103,6 +103,145 @@ TEST(BlifReader, RejectsBadCube) {
                std::runtime_error);
 }
 
+/// Runs \p fn expecting a std::runtime_error whose message carries the
+/// 1-based \p line and the offending \p token.
+template <typename Fn>
+void expect_error_at(Fn fn, int line, const std::string& token) {
+  try {
+    fn();
+    FAIL() << "expected a parse error at line " << line;
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line " + std::to_string(line)), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("'" + token + "'"), std::string::npos) << what;
+  }
+}
+
+TEST(BlifReader, ErrorsCarryLineAndToken) {
+  // .latch rejected in strict mode, with its own line.
+  expect_error_at(
+      [] {
+        read_blif_string(
+            ".model t\n.inputs a\n.outputs q\n.latch a q\n.end\n");
+      },
+      4, ".latch");
+  // Bad cover row inside a block.
+  expect_error_at(
+      [] {
+        read_blif_string(".model t\n.inputs a b\n.outputs f\n"
+                         ".names a b f\n11 1\n1 1\n.end\n");
+      },
+      6, "1");
+  // Cover row with no enclosing .names.
+  expect_error_at(
+      [] { read_blif_string(".model t\n.inputs a\n.outputs f\n11 1\n.end\n"); },
+      4, "11");
+  // Signal defined twice: blamed on the second .names line.
+  expect_error_at(
+      [] {
+        read_blif_string(".model t\n.inputs a\n.outputs f\n"
+                         ".names a f\n1 1\n.names a f\n0 1\n.end\n");
+      },
+      6, "f");
+  // Undefined PO: blamed on the .outputs line.
+  expect_error_at(
+      [] { read_blif_string(".model t\n.inputs a\n.outputs f\n.end\n"); }, 3,
+      "f");
+  // Undefined fanin: blamed on the .names line that references it.
+  expect_error_at(
+      [] {
+        read_blif_string(".model t\n.inputs a\n.outputs f\n"
+                         ".names a ghost f\n11 1\n.end\n");
+      },
+      4, "ghost");
+  // .subckt stays unsupported.
+  expect_error_at(
+      [] {
+        read_blif_string(".model t\n.inputs a\n.outputs f\n"
+                         ".subckt sub x=a y=f\n.end\n");
+      },
+      4, ".subckt");
+}
+
+TEST(BlifReader, ContinuationKeepsFirstLineNumber) {
+  // The bad row is a logical line starting on physical line 4.
+  expect_error_at(
+      [] {
+        read_blif_string(".model t\n.inputs a b\n.outputs f\n"
+                         ".names a \\\nb f\n11 1\n111 1\n.end\n");
+      },
+      7, "111");
+}
+
+constexpr const char* kLatchBlif = R"(
+.model seq
+.inputs clk a
+.outputs q
+.latch n1 s0 re clk 0
+.names a s0 n1
+11 1
+.names s0 a q
+10 1
+01 1
+.end
+)";
+
+TEST(BlifReader, LatchCombinationalCoreExtractsRegisters) {
+  BlifReadOptions options;
+  options.latch_combinational = true;
+  BlifModel model = read_blif_model_string(kLatchBlif, options);
+  EXPECT_EQ(model.latches, 1);
+  const Network& net = model.network;
+  // PIs: clk, a, plus latch output s0. POs: q, plus latch input n1.
+  ASSERT_EQ(net.inputs().size(), 3u);
+  EXPECT_EQ(net.node(net.inputs()[2]).name, "s0");
+  ASSERT_EQ(net.outputs().size(), 2u);
+  EXPECT_EQ(net.outputs()[0].name, "q");
+  EXPECT_EQ(net.outputs()[1].name, "n1");
+  // n1 = a & s0, q = a XOR s0 on the combinational core.
+  for (int a = 0; a < 2; ++a) {
+    for (int s0 = 0; s0 < 2; ++s0) {
+      const auto out = net.eval({false, a != 0, s0 != 0});
+      EXPECT_EQ(out[0], (a != 0) != (s0 != 0));
+      EXPECT_EQ(out[1], a != 0 && s0 != 0);
+    }
+  }
+}
+
+TEST(BlifReader, LatchShortLineRejected) {
+  BlifReadOptions options;
+  options.latch_combinational = true;
+  expect_error_at(
+      [&options] {
+        read_blif_model_string(".model t\n.inputs a\n.outputs q\n.latch x\n.end\n",
+                               options);
+      },
+      4, ".latch");
+}
+
+TEST(BlifReader, LatchOutputClashesAreRejected) {
+  BlifReadOptions options;
+  options.latch_combinational = true;
+  // Latch output also defined by .names.
+  expect_error_at(
+      [&options] {
+        read_blif_model_string(".model t\n.inputs a\n.outputs q\n"
+                               ".latch q s\n.names a s\n1 1\n.names s q\n1 1\n"
+                               ".end\n",
+                               options);
+      },
+      4, "s");
+  // Latch output already a primary input.
+  expect_error_at(
+      [&options] {
+        read_blif_model_string(".model t\n.inputs a s\n.outputs q\n"
+                               ".latch q s\n.names a q\n1 1\n.end\n",
+                               options);
+      },
+      4, "s");
+}
+
 TEST(BlifRoundTrip, FullAdderSurvives) {
   Network net = read_blif_string(kAdderBlif);
   const std::string text = write_blif_string(net);
