@@ -12,6 +12,16 @@
 ///    this itself and fails (exit 1) on any mismatch, making a committed
 ///    BENCH_window.json a determinism proof for the machine that produced
 ///    it.
+///  - `*reorder_t1/_t2/_t4`: the same windowed flow with auto variable
+///    reordering and the warmed manager pool enabled inside every window
+///    (docs/REORDER.md). Same thread-identity contract; reordering must
+///    never map fewer windows than the identity order.
+///  - `scalestress*`: the large netlist again (one row per configuration,
+///    at 4 threads), with window caps wide enough that its order-adversarial
+///    cones (make_scale) stay whole. Identity order must blow the 2^17
+///    budget on those windows (split fallbacks); the reorder row must map
+///    strictly more windows — fewer pass-throughs + splits — under the very
+///    same budget. This is the reorder payoff gate.
 ///  - `*whole_gov/_free`: the whole-network flow under the same per-manager
 ///    BDD node budget the windowed engine gives each window, and unbounded.
 ///    On the fixture-sized netlists both complete with identical networks
@@ -39,6 +49,8 @@
 #include <vector>
 
 #include "baseline/flows.hpp"
+#include "bdd/pool.hpp"
+#include "tt/truth_table.hpp"
 #include "mapper/lutmap.hpp"
 #include "mcnc/benchmarks.hpp"
 #include "net/blif.hpp"
@@ -80,6 +92,10 @@ struct WorkloadResult {
   std::uint64_t checksum = 0;  ///< schedule-independent functional invariant
   bool completed = true;       ///< false: blew the budget (expected for gov)
   int luts = 0;
+  /// Windows the engine could not map under the budget (pass-throughs plus
+  /// splits); the reorder gate compares this between the off and reorder
+  /// configurations of the scale netlist.
+  std::uint64_t unmapped = 0;
 };
 
 double seconds_since(std::chrono::steady_clock::time_point start) {
@@ -96,9 +112,86 @@ Network make_wide() {
   return hyde::mcnc::random_multilevel("win_wide", 40, 10, 1500, 3, 10, 9);
 }
 
+/// Pairs per order-adversarial cone (see add_adversarial_cone).
+constexpr int kConePairs = 15;
+/// Cones appended to the scale netlist by make_scale.
+constexpr int kConeCount = 6;
+/// Window caps for the `scalestress*` rows: wide enough that extraction
+/// keeps a whole adversarial cone (2*kConePairs boundary inputs) in one
+/// window, so the per-window manager actually faces the bad identity order.
+constexpr int kStressInputs = 2 * kConePairs + 2;
+constexpr int kStressNodes = 96;
+
+/// Appends one order-sensitive cone to \p out: two outputs over shared
+/// inputs x1..xn, y1..yn,
+///
+///     f = (x1 & ... & xn) | OR_i (xi & yi)
+///     g = OR_i (xi & y_{i+1 mod n})
+///
+/// built entirely from 2-input nodes as *linear* chains — one apply per
+/// network node, which is exactly the granularity at which the manager's
+/// governance ladder gets to run (operation entry points).  The leading
+/// all-x AND *spine* makes every x the first-referenced fanin of the cone,
+/// so a window cloning it registers its boundary inputs as x1..xn, y1..yn —
+/// the order under which either disjoint quadratic form needs ~2^n BDD
+/// nodes.  Any interleaved order (xi adjacent to its partners) is linear,
+/// which is what converging sifting finds: under the 2^17 per-window budget
+/// the identity order must blow the window while auto reordering maps it.
+void add_adversarial_cone(Network& out, int index) {
+  namespace htt = hyde::tt;
+  const std::string p = "adv" + std::to_string(index) + "_";
+  const int n = kConePairs;
+  std::vector<hyde::net::NodeId> xs(n);
+  std::vector<hyde::net::NodeId> ys(n);
+  for (int i = 0; i < n; ++i) {
+    xs[static_cast<std::size_t>(i)] = out.add_input(p + "x" + std::to_string(i));
+  }
+  for (int i = 0; i < n; ++i) {
+    ys[static_cast<std::size_t>(i)] = out.add_input(p + "y" + std::to_string(i));
+  }
+  const htt::TruthTable and2 =
+      htt::TruthTable::var(2, 0) & htt::TruthTable::var(2, 1);
+  const htt::TruthTable or2 =
+      htt::TruthTable::var(2, 0) | htt::TruthTable::var(2, 1);
+  // The spine: AND of all x's as a 2-input chain. A depth-first window clone
+  // dives here before touching any product, so the x block registers first.
+  hyde::net::NodeId spine = xs[0];
+  for (int i = 1; i < n; ++i) {
+    spine = out.add_logic_tt(p + "s" + std::to_string(i),
+                             {spine, xs[static_cast<std::size_t>(i)]}, and2);
+  }
+  hyde::net::NodeId acc = spine;
+  for (int i = 0; i < n; ++i) {
+    const hyde::net::NodeId prod = out.add_logic_tt(
+        p + "fp" + std::to_string(i),
+        {xs[static_cast<std::size_t>(i)], ys[static_cast<std::size_t>(i)]},
+        and2);
+    acc = out.add_logic_tt(p + "fo" + std::to_string(i), {acc, prod}, or2);
+  }
+  out.add_output(p + "f", acc);
+  // g chain: same inputs, shifted pairing. Its own identity order is equally
+  // bad, and both chains are linear under any interleaved order, so one
+  // sifted order serves the whole window.
+  hyde::net::NodeId gcc = hyde::net::kNoNode;
+  for (int i = 0; i < n; ++i) {
+    const hyde::net::NodeId prod = out.add_logic_tt(
+        p + "gp" + std::to_string(i),
+        {xs[static_cast<std::size_t>(i)],
+         ys[static_cast<std::size_t>((i + 1) % n)]},
+        and2);
+    gcc = (i == 0) ? prod
+                   : out.add_logic_tt(p + "go" + std::to_string(i),
+                                      {gcc, prod}, or2);
+  }
+  out.add_output(p + "g", gcc);
+}
+
 /// Large workload: two independently seeded multilevel DAGs tiled side by
 /// side into one ~19k-node netlist (random_multilevel's live cone saturates
-/// around 6k nodes, so scale comes from tiling).  Deterministic.
+/// around 6k nodes, so scale comes from tiling), plus a handful of
+/// order-adversarial cones (add_adversarial_cone) whose windows are
+/// unmappable under the identity variable order but trivial after sifting.
+/// Deterministic.
 Network make_scale() {
   Network out("scale");
   for (int c = 0; c < 2; ++c) {
@@ -121,6 +214,7 @@ Network make_scale() {
       out.add_output(prefix + po.name, map.at(po.driver));
     }
   }
+  for (int c = 0; c < kConeCount; ++c) add_adversarial_cone(out, c);
   return out;
 }
 
@@ -132,11 +226,29 @@ FlowOptions hyde_flow_options() {
 /// text with every windows_* counter, so the thread sweep proves both the
 /// network and the bookkeeping are schedule-independent.
 WorkloadResult bench_windowed(const std::string& base, const Network& input,
-                              int threads) {
+                              int threads, bool reorder = false,
+                              int max_inputs = 0, int max_nodes = 0) {
   WindowedFlowOptions options;
   options.flow = hyde_flow_options();
   options.threads = threads;
   options.window_bdd_budget = kBudget;
+  if (max_inputs > 0) {
+    options.window.max_inputs = max_inputs;
+    // Widened windows only exercise the reorder-sensitive path if the
+    // per-window flow still collapses the whole window into one global
+    // function; lift the collapse ceiling to match the window cap.
+    options.flow.max_collapse_support =
+        std::max(options.flow.max_collapse_support, max_inputs);
+  }
+  if (max_nodes > 0) options.window.max_nodes = max_nodes;
+  hyde::bdd::ManagerPool pool;
+  if (reorder) {
+    // The governance configuration under test: auto sifting inside every
+    // window manager plus warmed-manager recycling across windows. Both are
+    // deterministic, so the t1/t2/t4 checksum gate applies unchanged.
+    options.flow.reorder = hyde::bdd::ReorderMode::kAuto;
+    options.flow.manager_pool = &pool;
+  }
 
   WorkloadResult result;
   result.name = base + "_t" + std::to_string(threads);
@@ -155,6 +267,16 @@ WorkloadResult bench_windowed(const std::string& base, const Network& input,
   checksum = fnv1a(checksum, flow.stats.windows_verify_failures);
   result.checksum = checksum;
   result.luts = hyde::mapper::lut_count(flow.network);
+  result.unmapped =
+      static_cast<std::uint64_t>(flow.stats.windows_passthrough) +
+      static_cast<std::uint64_t>(flow.stats.windows_split);
+  std::fprintf(stderr,
+               "window_bench: %s extracted=%d resynth=%d passthrough=%d "
+               "fallbacks=%d split=%d reorders=%llu\n",
+               result.name.c_str(), flow.stats.windows_extracted,
+               flow.stats.windows_resynthesized, flow.stats.windows_passthrough,
+               flow.stats.windows_budget_fallbacks, flow.stats.windows_split,
+               static_cast<unsigned long long>(flow.stats.bdd_reorder_runs));
 
   if (flow.stats.windows_verify_failures != 0) {
     std::fprintf(stderr, "window_bench: %s had window verify failures\n",
@@ -201,13 +323,14 @@ WorkloadResult bench_whole(const std::string& name, const Network& input,
 }
 
 void append_json(std::string& out, const WorkloadResult& r, bool last) {
-  char buf[224];
+  char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "    {\"name\": \"%s\", \"seconds\": %.6f, \"checksum\": %llu, "
-                "\"completed\": %s, \"luts\": %d}%s\n",
+                "\"completed\": %s, \"luts\": %d, \"unmapped\": %llu}%s\n",
                 r.name.c_str(), r.seconds,
                 static_cast<unsigned long long>(r.checksum),
-                r.completed ? "true" : "false", r.luts, last ? "" : ",");
+                r.completed ? "true" : "false", r.luts,
+                static_cast<unsigned long long>(r.unmapped), last ? "" : ",");
   out += buf;
 }
 
@@ -238,6 +361,7 @@ int main(int argc, char** argv) {
   std::string label = "windowed";
   std::string out_path;
   bool quick = false;
+  bool probe = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--label=", 0) == 0) {
@@ -246,11 +370,31 @@ int main(int argc, char** argv) {
       out_path = arg.substr(6);
     } else if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--probe") {
+      probe = true;
     } else {
       std::fprintf(stderr,
-                   "usage: window_bench [--label=NAME] [--out=FILE] [--quick]\n");
+                   "usage: window_bench [--label=NAME] [--out=FILE] [--quick] "
+                   "[--probe]\n");
       return 2;
     }
+  }
+
+  if (probe) {
+    const Network input = make_scale();
+    std::fprintf(stderr, "probe: scale netlist has %d logic nodes\n",
+                 input.num_logic_nodes());
+    const std::pair<int, int> sizes[] = {{0, 0},
+                                         {kStressInputs, kStressNodes}};
+    for (const auto& [mi, mn] : sizes) {
+      for (const bool ro : {false, true}) {
+        char name[64];
+        std::snprintf(name, sizeof(name), "probe_i%d_n%d_%s", mi, mn,
+                      ro ? "reorder" : "off");
+        bench_windowed(name, input, /*threads=*/4, ro, mi, mn);
+      }
+    }
+    return 0;
   }
 
   std::vector<WorkloadResult> results;
@@ -264,6 +408,12 @@ int main(int argc, char** argv) {
     for (int threads : {1, 2, 4}) {
       results.push_back(bench_windowed(base, input, threads));
     }
+    // Reorder + pool configuration: own base name (its counters differ from
+    // the off rows by design), same thread-identity gate.
+    for (int threads : {1, 2, 4}) {
+      results.push_back(
+          bench_windowed(base + "reorder", input, threads, /*reorder=*/true));
+    }
     results.push_back(bench_whole(base + "whole_gov", input, kBudget));
     results.push_back(bench_whole(base + "whole_free", input, 0));
   }
@@ -274,6 +424,51 @@ int main(int argc, char** argv) {
                  input.num_logic_nodes());
     for (int threads : {1, 2, 4}) {
       results.push_back(bench_windowed("scale", input, threads));
+    }
+    // At the default window caps the adversarial cones are chopped into
+    // narrow, order-insensitive windows, so reordering must simply never be
+    // worse here.
+    const std::uint64_t off_unmapped = results.back().unmapped;
+    for (int threads : {1, 2, 4}) {
+      results.push_back(
+          bench_windowed("scalereorder", input, threads, /*reorder=*/true));
+    }
+    if (results.back().unmapped > off_unmapped) {
+      std::fprintf(stderr,
+                   "window_bench: reorder increased unmapped windows on "
+                   "the scale netlist (%llu -> %llu)\n",
+                   static_cast<unsigned long long>(off_unmapped),
+                   static_cast<unsigned long long>(results.back().unmapped));
+      return 1;
+    }
+    // The reorder payoff claim: with windows wide enough to hold a whole
+    // adversarial cone, the identity order blows the 2^17 budget (split
+    // fallbacks) while auto sifting must map strictly more windows — fewer
+    // pass-throughs and splits — under the identical budget.
+    // One row per configuration: the stressed windows do orders of magnitude
+    // more BDD work than the default caps (every blown window builds to the
+    // budget before splitting), and thread-count identity is already proven
+    // by the default rows above and by windowed_reorder_test.
+    results.push_back(bench_windowed("scalestress", input, /*threads=*/4,
+                                     /*reorder=*/false, kStressInputs,
+                                     kStressNodes));
+    const std::uint64_t stress_off_unmapped = results.back().unmapped;
+    results.push_back(bench_windowed("scalestressreorder", input,
+                                     /*threads=*/4, /*reorder=*/true,
+                                     kStressInputs, kStressNodes));
+    if (results.back().unmapped >= stress_off_unmapped) {
+      std::fprintf(stderr,
+                   "window_bench: reorder did not reduce unmapped windows on "
+                   "the stressed scale netlist (%llu -> %llu)\n",
+                   static_cast<unsigned long long>(stress_off_unmapped),
+                   static_cast<unsigned long long>(results.back().unmapped));
+      return 1;
+    }
+    if (stress_off_unmapped == 0) {
+      std::fprintf(stderr,
+                   "window_bench: stress rows exerted no budget pressure "
+                   "(identity order mapped everything)\n");
+      return 1;
     }
     // The governance claim: under the budget every window sits far below,
     // one global manager for the whole netlist must blow up.
@@ -296,7 +491,8 @@ int main(int argc, char** argv) {
   json += "  \"schema\": \"hyde.bench_window.v1\",\n";
   json += "  \"engine\": \"" + label + "\",\n";
   json += "  \"budget\": " + std::to_string(kBudget) + ",\n";
-  json += "  \"configs\": [\"t1\", \"t2\", \"t4\", \"whole_gov\", \"whole_free\"],\n";
+  json += "  \"configs\": [\"t1\", \"t2\", \"t4\", \"reorder_t1..t4\", "
+          "\"stress_t4\", \"whole_gov\", \"whole_free\"],\n";
   json += "  \"workloads\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     append_json(json, results[i], i + 1 == results.size());

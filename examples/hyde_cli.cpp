@@ -15,6 +15,13 @@
 ///   --search-threads <n>  parallelize candidate bound-set evaluation inside
 ///                 each flow (decomp/search.hpp; results are bit-identical
 ///                 at any thread count)
+///   --reorder <m>  dynamic BDD variable reordering: off (default), sift
+///                 (soft-budget ladder) or auto (adds the growth trigger);
+///                 see docs/REORDER.md. Result-affecting: runs with
+///                 different --reorder settings are different experiments.
+///   --reorder-max-growth <x>  auto-reorder growth factor, > 1.0 (default 2.0)
+///   --manager-pool  recycle warmed BDD managers across flow invocations
+///                 (bdd/pool.hpp); result-neutral allocation reuse
 ///   --read-latches  accept sequential BLIF by extracting the combinational
 ///                 core (latch outputs become PIs, latch inputs become POs)
 ///
@@ -78,15 +85,18 @@ int usage() {
                "usage: hyde_cli [-k n] [-s hyde|imodec|fgsyn|rk|rk-resub|all] "
                "[-o out.blif] [--pla-out out.pla] [--no-verify] [--profile] "
                "[--search-threads n] [--encoder-threads n] "
-               "<circuit.blif|circuit.pla|@benchmark>\n"
+               "[--reorder off|sift|auto] [--reorder-max-growth x] "
+               "[--manager-pool] <circuit.blif|circuit.pla|@benchmark>\n"
                "       hyde_cli --batch [-k n] [-s system|all] [--workers n] "
                "[--seed n] [--json file] [--csv file] [--deterministic-json] "
                "[--no-cache] [--no-verify] [--profile] [--search-threads n] "
-               "[--encoder-threads n]\n"
+               "[--encoder-threads n] [--reorder off|sift|auto] "
+               "[--reorder-max-growth x] [--manager-pool]\n"
                "       hyde_cli --in circuit.blif [-k n] [-s system] "
                "[-o out.blif] [--window-inputs n] [--window-nodes n] "
-               "[--window-threads n] [--read-latches] [--no-verify] "
-               "[--profile]\n");
+               "[--window-threads n] [--reorder off|sift|auto] "
+               "[--reorder-max-growth x] [--manager-pool] [--read-latches] "
+               "[--no-verify] [--profile]\n");
   return 2;
 }
 
@@ -107,6 +117,32 @@ bool parse_long(const std::string& arg, long* out) {
   return true;
 }
 
+/// Strict decimal parse for floating-point knobs; same contract as
+/// parse_long (the whole argument must be a number).
+bool parse_double(const std::string& arg, double* out) {
+  if (arg.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(arg.c_str(), &end);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+/// Maps a --reorder argument to the kernel mode; false on unknown names.
+bool parse_reorder_mode(const std::string& arg, hyde::bdd::ReorderMode* out) {
+  if (arg == "off") {
+    *out = hyde::bdd::ReorderMode::kOff;
+  } else if (arg == "sift") {
+    *out = hyde::bdd::ReorderMode::kSift;
+  } else if (arg == "auto") {
+    *out = hyde::bdd::ReorderMode::kAuto;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 void print_profile(const hyde::core::FlowStats& stats, const char* indent) {
   std::printf(
       "%svarpart %.3fs (selects %llu, evaluated %llu, pruned %llu, "
@@ -123,7 +159,8 @@ int run_batch_mode(const std::string& system_name, int k, int workers,
                    std::uint64_t seed, bool verify, bool use_cache,
                    const std::string& json_path, const std::string& csv_path,
                    bool deterministic_json, bool profile, int search_threads,
-                   int encoder_threads) {
+                   int encoder_threads, hyde::bdd::ReorderMode reorder,
+                   double reorder_max_growth, bool manager_pool) {
   using namespace hyde;
   std::vector<baseline::System> systems;
   for (const auto& [name, system] : known_systems()) {
@@ -138,6 +175,9 @@ int run_batch_mode(const std::string& system_name, int k, int workers,
   options.use_cache = use_cache;
   options.search_threads = search_threads;
   options.encoder_threads = encoder_threads;
+  options.reorder = reorder;
+  options.reorder_max_growth = reorder_max_growth;
+  options.manager_pool = manager_pool;
 
   std::printf("batch: %zu jobs (%zu circuits x %zu systems), k=%d, "
               "%d workers, cache %s\n",
@@ -223,6 +263,9 @@ int main(int argc, char** argv) {
   int window_nodes = 64;
   int window_threads = 1;
   bool read_latches = false;
+  bdd::ReorderMode reorder = bdd::ReorderMode::kOff;
+  double reorder_max_growth = 2.0;
+  bool manager_pool = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "-k" && i + 1 < argc) {
@@ -332,6 +375,27 @@ int main(int argc, char** argv) {
         return 2;
       }
       window_threads = static_cast<int>(value);
+    } else if (arg == "--reorder" && i + 1 < argc) {
+      const std::string mode_name = argv[++i];
+      if (!parse_reorder_mode(mode_name, &reorder)) {
+        std::fprintf(stderr,
+                     "error: --reorder expects off, sift or auto, got '%s'\n",
+                     mode_name.c_str());
+        return 2;
+      }
+    } else if (arg == "--reorder-max-growth" && i + 1 < argc) {
+      double value = 0.0;
+      if (!parse_double(argv[++i], &value) || !(value > 1.0) ||
+          !(value <= 64.0)) {
+        std::fprintf(stderr,
+                     "error: --reorder-max-growth expects a number in "
+                     "(1.0, 64.0], got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      reorder_max_growth = value;
+    } else if (arg == "--manager-pool") {
+      manager_pool = true;
     } else if (arg == "--read-latches") {
       read_latches = true;
     } else if (arg == "--profile") {
@@ -361,7 +425,8 @@ int main(int argc, char** argv) {
     }
     return run_batch_mode(system_name, k, workers, seed, verify, use_cache,
                           json_path, csv_path, deterministic_json, profile,
-                          search_threads, encoder_threads);
+                          search_threads, encoder_threads, reorder,
+                          reorder_max_growth, manager_pool);
   }
 
   if (!in_file.empty()) {
@@ -404,6 +469,12 @@ int main(int argc, char** argv) {
     options.flow.seed = seed;
     options.flow.search_threads = search_threads;
     options.flow.encoder_threads = encoder_threads;
+    options.flow.reorder = reorder;
+    options.flow.reorder_max_growth = reorder_max_growth;
+    // One warmed pool shared by all window workers; it must outlive the run,
+    // so it lives in this scope rather than inside the windowed engine.
+    bdd::ManagerPool window_pool;
+    if (manager_pool) options.flow.manager_pool = &window_pool;
     options.window.max_inputs = window_inputs;
     options.window.max_nodes = window_nodes;
     options.threads = window_threads;
@@ -480,6 +551,9 @@ int main(int argc, char** argv) {
 
   net::Network best_network("none");
   int best_luts = -1;
+  // Shared across the per-system runs below so a manager warmed by one
+  // system seeds the next; only handed out when --manager-pool was given.
+  bdd::ManagerPool single_run_pool;
   for (const auto& [name, system] : known_systems()) {
     if (system_name != "all" && system_name != name) continue;
     // For DC-aware runs use the core flow directly (baseline::run_system
@@ -501,7 +575,10 @@ int main(int argc, char** argv) {
     auto result =
         baseline::run_system(input, system, k, verify ? 256 : 0, /*seed=*/1,
                              /*cache=*/nullptr, /*cache_max_support=*/7,
-                             search_threads, encoder_threads);
+                             search_threads, encoder_threads,
+                             /*class_signatures=*/true, reorder,
+                             reorder_max_growth,
+                             manager_pool ? &single_run_pool : nullptr);
     std::printf("%-10s %5d LUTs", name.c_str(), result.luts);
     if (k == 5) std::printf("  %5d CLBs", result.clbs);
     std::printf("  depth %2d  %.3fs  %s\n", result.depth, result.seconds,

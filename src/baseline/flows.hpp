@@ -54,12 +54,19 @@ core::FlowOptions system_flow_options(System system, int k);
 /// (core/encoder.hpp) and \p class_signatures toggles the packed-signature
 /// column-compatibility fast path (decomp/compatible.hpp); both are
 /// result-neutral engine knobs.
+/// \p reorder / \p reorder_max_growth enable dynamic variable reordering in
+/// the flow's global BDD manager (docs/REORDER.md) — result-affecting, see
+/// core::FlowOptions. \p manager_pool recycles warmed managers across
+/// invocations (bdd/pool.hpp); result-neutral, may be shared across threads.
 BaselineResult run_system(const net::Network& input, System system, int k,
                           int verify_vectors = 256, std::uint64_t seed = 1,
                           core::DecompCache* cache = nullptr,
                           int cache_max_support = 7, int search_threads = 1,
                           int encoder_threads = 1,
-                          bool class_signatures = true);
+                          bool class_signatures = true,
+                          bdd::ReorderMode reorder = bdd::ReorderMode::kOff,
+                          double reorder_max_growth = 2.0,
+                          bdd::ManagerPool* manager_pool = nullptr);
 
 /// Windowed variant of run_system for networks too large to decompose whole:
 /// runs part::run_windowed_flow under \p options (callers typically seed

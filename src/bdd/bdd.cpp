@@ -17,6 +17,9 @@ using namespace internal;
 namespace {
 constexpr std::size_t kCacheInitialEntries = std::size_t{1} << 12;
 constexpr std::size_t kCacheMinEntries = std::size_t{1} << 10;
+/// kAuto never fires below this many live nodes — reordering a tiny manager
+/// costs more than it can ever save.
+constexpr std::size_t kAutoReorderFloor = std::size_t{1} << 12;
 
 std::uint64_t next_manager_serial() {
   static std::atomic<std::uint64_t> counter{0};
@@ -121,6 +124,7 @@ Manager::Manager(int num_vars) : num_vars_(num_vars) {
   nodes_.push_back(Node{-1, kZero, kZero, kNil, 1});  // constant 0
   nodes_.push_back(Node{-1, kOne, kOne, kNil, 1});    // constant 1
   total_ext_refs_ = 2;
+  ensure_level_capacity(num_vars_);
   rehash_unique(1024);
 }
 
@@ -130,6 +134,51 @@ Manager::~Manager() {
 
 void Manager::ensure_vars(int num_vars) {
   num_vars_ = std::max(num_vars_, num_vars);
+  ensure_level_capacity(num_vars_);
+}
+
+void Manager::ensure_level_capacity(int count) {
+  while (static_cast<int>(level_of_.size()) < count) {
+    const int level = static_cast<int>(level_of_.size());
+    level_of_.push_back(level);
+    var_at_.push_back(level);
+  }
+}
+
+void Manager::reset(int num_vars) {
+  if (total_ext_refs_ != 2) {
+    throw std::logic_error(
+        "Manager::reset: external handles are still outstanding");
+  }
+  serial_ = next_manager_serial();  // old handles become detectably stale
+  nodes_.clear();                   // capacity retained
+  nodes_.push_back(Node{-1, kZero, kZero, kNil, 1});
+  nodes_.push_back(Node{-1, kOne, kOne, kNil, 1});
+  total_ext_refs_ = 2;
+  free_list_.clear();
+  level_of_.clear();
+  var_at_.clear();
+  num_vars_ = num_vars;
+  ensure_level_capacity(num_vars_);
+  // Warm allocations survive: bucket count and computed-table slots are kept,
+  // only their contents drop.
+  std::fill(unique_buckets_.begin(), unique_buckets_.end(), kNil);
+  cache_clear();
+  compose_maps_.clear();
+  compose_fingerprints_.clear();
+  cache_hits_ = cache_misses_ = cache_inserts_ = cache_overwrites_ = 0;
+  gc_threshold_ = std::size_t{1} << 18;
+  node_limit_ = 0;
+  soft_node_limit_ = 0;
+  gc_runs_ = 0;
+  peak_live_nodes_ = 2;
+  reorder_mode_ = ReorderMode::kOff;
+  reorder_options_ = ReorderOptions{};
+  reorder_max_growth_ = 2.0;
+  reorder_epoch_ = 0;
+  reorder_runs_ = 0;
+  reorder_watermark_ = 2;
+  in_reorder_ = false;
 }
 
 Bdd Manager::make_external(std::uint32_t id) { return Bdd(this, id); }
@@ -147,11 +196,15 @@ void Manager::dec_ref(std::uint32_t id) {
   --total_ext_refs_;
 }
 
+// Buckets are keyed by the variable's *level*, not its index: after a swap
+// the affected nodes are re-homed, so placement always reflects the current
+// order (audited by audit_invariants).
 // hyde-hot
 std::uint32_t Manager::unique_lookup(std::int32_t var, std::uint32_t lo,
                                      std::uint32_t hi) {
   const std::size_t bucket =
-      triple_hash(var, lo, hi) & (unique_buckets_.size() - 1);
+      triple_hash(level_of_[static_cast<std::size_t>(var)], lo, hi) &
+      (unique_buckets_.size() - 1);
   for (std::uint32_t id = unique_buckets_[bucket]; id != kNil;
        id = nodes_[id].next) {
     const Node& n = nodes_[id];
@@ -163,9 +216,21 @@ std::uint32_t Manager::unique_lookup(std::int32_t var, std::uint32_t lo,
 void Manager::unique_insert(std::uint32_t id) {
   const Node& n = nodes_[id];
   const std::size_t bucket =
-      triple_hash(n.var, n.lo, n.hi) & (unique_buckets_.size() - 1);
+      triple_hash(level_of_[static_cast<std::size_t>(n.var)], n.lo, n.hi) &
+      (unique_buckets_.size() - 1);
   nodes_[id].next = unique_buckets_[bucket];
   unique_buckets_[bucket] = id;
+}
+
+void Manager::unique_unlink(std::uint32_t id) {
+  const Node& n = nodes_[id];
+  const std::size_t bucket =
+      triple_hash(level_of_[static_cast<std::size_t>(n.var)], n.lo, n.hi) &
+      (unique_buckets_.size() - 1);
+  std::uint32_t* slot = &unique_buckets_[bucket];
+  while (*slot != id) slot = &nodes_[*slot].next;
+  *slot = nodes_[id].next;
+  nodes_[id].next = kNil;
 }
 
 void Manager::rehash_unique(std::size_t new_bucket_count) {
@@ -178,9 +243,15 @@ void Manager::rehash_unique(std::size_t new_bucket_count) {
 std::uint32_t Manager::make_node(std::int32_t var, std::uint32_t lo,
                                  std::uint32_t hi) {
   if (lo == hi) return lo;  // reduction rule
+  if (var >= static_cast<std::int32_t>(level_of_.size())) {
+    ensure_level_capacity(var + 1);
+  }
   std::uint32_t id = unique_lookup(var, lo, hi);
   if (id != kNil) return id;
-  if (node_limit_ != 0 && nodes_.size() - free_list_.size() >= node_limit_) {
+  // The hard limit is suspended mid-reorder: a swap rewrites nodes in place
+  // and must never tear halfway through (reordering shrinks the DAG anyway).
+  if (!in_reorder_ && node_limit_ != 0 &&
+      nodes_.size() - free_list_.size() >= node_limit_) {
     throw std::length_error("BDD manager node limit exceeded");
   }
   if (!free_list_.empty()) {
@@ -194,7 +265,9 @@ std::uint32_t Manager::make_node(std::int32_t var, std::uint32_t lo,
   unique_insert(id);
   const std::size_t live = nodes_.size() - free_list_.size();
   peak_live_nodes_ = std::max(peak_live_nodes_, live);
-  if (live * 2 > unique_buckets_.size()) {
+  // Growth rehash is deferred while a swap has levels detached from the
+  // table (rehash_unique would re-home them mid-rewrite).
+  if (!in_reorder_ && live * 2 > unique_buckets_.size()) {
     rehash_unique(unique_buckets_.size() * 2);
   }
   return id;
@@ -235,12 +308,47 @@ void Manager::collect_garbage() {
 #endif
 }
 
+// Governance ladder, evaluated at operation entry points only (never
+// mid-recursion): the growth trigger (kAuto) or a blown soft budget first
+// runs GC; if the soft budget is still exceeded and a reorder mode is
+// enabled, converging sifting runs next. Only when both rungs leave the
+// manager over budget does growth continue toward the hard node_limit,
+// whose std::length_error the windowed flow converts into its
+// split/pass-through ladder.
 void Manager::maybe_gc() {
   const std::size_t live = nodes_.size() - free_list_.size();
-  if (live <= gc_threshold_) return;
+  if (reorder_mode_ == ReorderMode::kAuto &&
+      live > static_cast<std::size_t>(static_cast<double>(reorder_watermark_) *
+                                      reorder_max_growth_) &&
+      live > kAutoReorderFloor) {
+    reorder_sift(reorder_options_);  // GCs internally, resets the watermark
+    return;
+  }
+  const bool soft_hit = soft_node_limit_ != 0 && live > soft_node_limit_;
+  if (live <= gc_threshold_ && !soft_hit) return;
   collect_garbage();
   const std::size_t after = nodes_.size() - free_list_.size();
-  if (after * 4 > gc_threshold_ * 3) gc_threshold_ *= 2;
+  // Adaptive threshold: a GC that reclaims less than 25% of the pre-GC live
+  // set was not worth its cost — double the threshold so the next one runs
+  // against a genuinely larger population.
+  if ((live - after) * 4 < live) gc_threshold_ *= 2;
+  if (soft_hit && after > soft_node_limit_ &&
+      reorder_mode_ != ReorderMode::kOff) {
+    reorder_sift(reorder_options_);
+  }
+}
+
+void Manager::set_reorder_mode(ReorderMode mode, double max_growth,
+                               const ReorderOptions& options) {
+  if (!(max_growth > 1.0)) {
+    throw std::invalid_argument(
+        "Manager::set_reorder_mode: max_growth must be > 1.0");
+  }
+  reorder_mode_ = mode;
+  reorder_max_growth_ = max_growth;
+  reorder_options_ = options;
+  reorder_watermark_ =
+      std::max<std::size_t>(nodes_.size() - free_list_.size(), 2);
 }
 
 std::size_t Manager::live_node_count() const {
@@ -322,6 +430,7 @@ ManagerStats Manager::stats() const {
   s.peak_live_nodes = peak_live_nodes_;
   s.unique_buckets = unique_buckets_.size();
   s.gc_runs = gc_runs_;
+  s.reorder_runs = reorder_runs_;
   return s;
 }
 
@@ -372,11 +481,13 @@ std::uint32_t Manager::and_rec(std::uint32_t f, std::uint32_t g) {
   if (cache_lookup(a, g, &result)) return result;
   const std::int32_t fv = nodes_[f].var;
   const std::int32_t gv = nodes_[g].var;
-  const std::int32_t top = std::min(fv, gv);
-  const std::uint32_t f0 = fv == top ? nodes_[f].lo : f;
-  const std::uint32_t f1 = fv == top ? nodes_[f].hi : f;
-  const std::uint32_t g0 = gv == top ? nodes_[g].lo : g;
-  const std::uint32_t g1 = gv == top ? nodes_[g].hi : g;
+  const bool f_top = level_of(fv) <= level_of(gv);
+  const bool g_top = level_of(gv) <= level_of(fv);
+  const std::int32_t top = f_top ? fv : gv;
+  const std::uint32_t f0 = f_top ? nodes_[f].lo : f;
+  const std::uint32_t f1 = f_top ? nodes_[f].hi : f;
+  const std::uint32_t g0 = g_top ? nodes_[g].lo : g;
+  const std::uint32_t g1 = g_top ? nodes_[g].hi : g;
   result = make_node(top, and_rec(f0, g0), and_rec(f1, g1));
   cache_insert(a, g, result);
   return result;
@@ -394,11 +505,13 @@ std::uint32_t Manager::or_rec(std::uint32_t f, std::uint32_t g) {
   if (cache_lookup(a, g, &result)) return result;
   const std::int32_t fv = nodes_[f].var;
   const std::int32_t gv = nodes_[g].var;
-  const std::int32_t top = std::min(fv, gv);
-  const std::uint32_t f0 = fv == top ? nodes_[f].lo : f;
-  const std::uint32_t f1 = fv == top ? nodes_[f].hi : f;
-  const std::uint32_t g0 = gv == top ? nodes_[g].lo : g;
-  const std::uint32_t g1 = gv == top ? nodes_[g].hi : g;
+  const bool f_top = level_of(fv) <= level_of(gv);
+  const bool g_top = level_of(gv) <= level_of(fv);
+  const std::int32_t top = f_top ? fv : gv;
+  const std::uint32_t f0 = f_top ? nodes_[f].lo : f;
+  const std::uint32_t f1 = f_top ? nodes_[f].hi : f;
+  const std::uint32_t g0 = g_top ? nodes_[g].lo : g;
+  const std::uint32_t g1 = g_top ? nodes_[g].hi : g;
   result = make_node(top, or_rec(f0, g0), or_rec(f1, g1));
   cache_insert(a, g, result);
   return result;
@@ -417,11 +530,13 @@ std::uint32_t Manager::xor_rec(std::uint32_t f, std::uint32_t g) {
   if (cache_lookup(a, g, &result)) return result;
   const std::int32_t fv = nodes_[f].var;
   const std::int32_t gv = nodes_[g].var;
-  const std::int32_t top = std::min(fv, gv);
-  const std::uint32_t f0 = fv == top ? nodes_[f].lo : f;
-  const std::uint32_t f1 = fv == top ? nodes_[f].hi : f;
-  const std::uint32_t g0 = gv == top ? nodes_[g].lo : g;
-  const std::uint32_t g1 = gv == top ? nodes_[g].hi : g;
+  const bool f_top = level_of(fv) <= level_of(gv);
+  const bool g_top = level_of(gv) <= level_of(fv);
+  const std::int32_t top = f_top ? fv : gv;
+  const std::uint32_t f0 = f_top ? nodes_[f].lo : f;
+  const std::uint32_t f1 = f_top ? nodes_[f].hi : f;
+  const std::uint32_t g0 = g_top ? nodes_[g].lo : g;
+  const std::uint32_t g1 = g_top ? nodes_[g].hi : g;
   result = make_node(top, xor_rec(f0, g0), xor_rec(f1, g1));
   cache_insert(a, g, result);
   return result;
@@ -449,10 +564,12 @@ std::uint32_t Manager::ite_rec(std::uint32_t f, std::uint32_t g,
   std::uint32_t result;
   if (cache_lookup(a, b, &result)) return result;
 
-  auto var_of = [this](std::uint32_t id) {
-    return id <= kOne ? INT32_MAX : nodes_[id].var;
+  auto level_of_id = [this](std::uint32_t id) {
+    return id <= kOne ? INT32_MAX : level_of(nodes_[id].var);
   };
-  const std::int32_t top = std::min({var_of(f), var_of(g), var_of(h)});
+  const std::int32_t top_level =
+      std::min({level_of_id(f), level_of_id(g), level_of_id(h)});
+  const std::int32_t top = var_at(top_level);
   auto cof = [this, top](std::uint32_t id, bool hi) {
     if (id <= kOne || nodes_[id].var != top) return id;
     return hi ? nodes_[id].hi : nodes_[id].lo;
@@ -525,11 +642,12 @@ bool Manager::disjoint_rec(std::uint32_t f, std::uint32_t g) {
   if (cache_lookup(a, g, &cached)) return cached != 0;
   const std::int32_t fv = nodes_[f].var;
   const std::int32_t gv = nodes_[g].var;
-  const std::int32_t top = std::min(fv, gv);
-  const std::uint32_t f0 = fv == top ? nodes_[f].lo : f;
-  const std::uint32_t f1 = fv == top ? nodes_[f].hi : f;
-  const std::uint32_t g0 = gv == top ? nodes_[g].lo : g;
-  const std::uint32_t g1 = gv == top ? nodes_[g].hi : g;
+  const bool f_top = level_of(fv) <= level_of(gv);
+  const bool g_top = level_of(gv) <= level_of(fv);
+  const std::uint32_t f0 = f_top ? nodes_[f].lo : f;
+  const std::uint32_t f1 = f_top ? nodes_[f].hi : f;
+  const std::uint32_t g0 = g_top ? nodes_[g].lo : g;
+  const std::uint32_t g1 = g_top ? nodes_[g].hi : g;
   const bool result = disjoint_rec(f0, g0) && disjoint_rec(f1, g1);
   cache_insert(a, g, result ? 1u : 0u);
   return result;
@@ -548,7 +666,7 @@ std::uint32_t Manager::cofactor_rec(std::uint32_t f, int var, bool value) {
   const std::int32_t n_var = nodes_[f].var;
   const std::uint32_t n_lo = nodes_[f].lo;
   const std::uint32_t n_hi = nodes_[f].hi;
-  if (n_var > var) return f;
+  if (level_of(n_var) > level_of(var)) return f;  // var is above f's support
   if (n_var == var) return value ? n_hi : n_lo;
   const std::uint64_t a = op_key(kOpCofactor, f);
   const std::uint64_t b =
@@ -565,6 +683,8 @@ std::uint32_t Manager::cofactor_rec(std::uint32_t f, int var, bool value) {
 
 Bdd Manager::cofactor(const Bdd& f, int var, bool value) {
   check_owned(f);
+  // A variable the manager has never seen cannot occur in f's support.
+  if (var < 0 || var >= static_cast<int>(level_of_.size())) return f;
   maybe_gc();
   return make_external(cofactor_rec(f.id_, var, value));
 }
@@ -582,6 +702,10 @@ std::uint32_t Manager::build_cube(const std::vector<int>& vars) {
   std::vector<int> sorted = vars;
   std::sort(sorted.begin(), sorted.end());
   sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  if (!sorted.empty()) ensure_level_capacity(sorted.back() + 1);
+  // Cube nodes must be chained top level first, so order by current level.
+  std::sort(sorted.begin(), sorted.end(),
+            [this](int a, int b) { return level_of(a) < level_of(b); });
   std::uint32_t cube = kOne;
   for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
     cube = make_node(*it, kZero, cube);
@@ -594,8 +718,11 @@ std::uint32_t Manager::quantify_rec(std::uint32_t f, std::uint32_t cube,
                                     bool existential) {
   if (f <= kOne) return f;
   const std::int32_t fv = nodes_[f].var;
+  const int f_level = level_of(fv);
   // Skip quantified variables above f's support: they cannot occur in f.
-  while (cube > kOne && nodes_[cube].var < fv) cube = nodes_[cube].hi;
+  while (cube > kOne && level_of(nodes_[cube].var) < f_level) {
+    cube = nodes_[cube].hi;
+  }
   if (cube <= kOne) return f;
   const std::uint64_t a = op_key(existential ? kOpExists : kOpForall, f);
   std::uint32_t result;
@@ -616,7 +743,7 @@ std::uint32_t Manager::quantify_rec(std::uint32_t f, std::uint32_t cube,
       const std::uint32_t hi = quantify_rec(n_hi, sub_cube, existential);
       result = existential ? or_rec(lo, hi) : and_rec(lo, hi);
     }
-  } else {  // fv < cube_var: keep the node, quantify below
+  } else {  // fv is above cube_var: keep the node, quantify below
     const std::uint32_t lo = quantify_rec(n_lo, cube, existential);
     const std::uint32_t hi = quantify_rec(n_hi, cube, existential);
     result = make_node(fv, lo, hi);
@@ -835,13 +962,13 @@ Bdd Manager::from_truth_table(const tt::TruthTable& table,
         var_map.empty() ? i : var_map[static_cast<std::size_t>(i)];
   }
   ensure_vars(n == 0 ? 0 : 1 + *std::max_element(map.begin(), map.end()));
-  // Table variables sorted by descending manager index: the recursion builds
-  // bottom variables first so that the final branch is on the topmost
-  // (smallest) manager variable.
+  // Table variables sorted by ascending manager *level*: the recursion
+  // branches on the topmost variable first and builds bottom levels deepest.
   std::vector<int> order(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
-  std::sort(order.begin(), order.end(), [&map](int a, int b) {
-    return map[static_cast<std::size_t>(a)] < map[static_cast<std::size_t>(b)];
+  std::sort(order.begin(), order.end(), [this, &map](int a, int b) {
+    return level_of(map[static_cast<std::size_t>(a)]) <
+           level_of(map[static_cast<std::size_t>(b)]);
   });
 
   std::function<std::uint32_t(int, std::uint64_t)> rec =
@@ -861,14 +988,14 @@ tt::TruthTable Manager::to_truth_table(const Bdd& f,
   if (n > tt::TruthTable::kMaxVars) {
     throw std::invalid_argument("to_truth_table: too many variables");
   }
-  std::vector<int> level_of(num_vars_, -1);
-  for (int i = 0; i < n; ++i) level_of[vars[static_cast<std::size_t>(i)]] = i;
+  std::vector<int> table_pos(num_vars_, -1);
+  for (int i = 0; i < n; ++i) table_pos[vars[static_cast<std::size_t>(i)]] = i;
   tt::TruthTable result(n);
   for (std::uint64_t m = 0; m < result.size(); ++m) {
     std::uint32_t cur = f.id_;
     while (cur > kOne) {
       const Node& node = nodes_[cur];
-      const int level = level_of[node.var];
+      const int level = table_pos[node.var];
       if (level < 0) {
         throw std::invalid_argument(
             "to_truth_table: function depends on a variable outside vars");

@@ -1,0 +1,57 @@
+#include "bdd/pool.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace hyde::bdd {
+
+std::unique_ptr<Manager> ManagerPool::acquire(int num_vars) {
+  std::unique_ptr<Manager> mgr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++acquires_;
+    if (!pool_.empty()) {
+      ++hits_;
+      mgr = std::move(pool_.back());
+      pool_.pop_back();
+    }
+  }
+  if (mgr) {
+    // Parked managers are already reset; only the variable space differs.
+    mgr->ensure_vars(num_vars);
+    return mgr;
+  }
+  return std::make_unique<Manager>(num_vars);
+}
+
+void ManagerPool::release(std::unique_ptr<Manager> mgr) {
+  if (!mgr) return;
+  try {
+    mgr->reset(/*num_vars=*/0);
+  } catch (const std::logic_error&) {
+    // Outstanding handles: recycling would hand live state to a stranger,
+    // and destroying the manager would dangle those handles. Condemn it.
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++discards_;
+    condemned_.push_back(std::move(mgr));
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pool_.size() >= max_pooled_) {
+    ++discards_;
+    return;
+  }
+  pool_.push_back(std::move(mgr));
+}
+
+ManagerPoolStats ManagerPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ManagerPoolStats s;
+  s.acquires = acquires_;
+  s.hits = hits_;
+  s.discards = discards_;
+  s.pooled = pool_.size();
+  return s;
+}
+
+}  // namespace hyde::bdd

@@ -1,0 +1,76 @@
+/// \file pool.hpp
+/// \brief A pool of warmed bdd::Manager instances recycled across flow
+/// invocations.
+///
+/// Constructing a Manager from scratch pays for node-store growth,
+/// unique-table rehashes and computed-table allocation all over again; a
+/// batch or windowed run creates one manager per flow invocation, so those
+/// costs repeat thousands of times. The pool keeps managers that finished a
+/// flow — reset via Manager::reset, which retains the node-store capacity,
+/// the unique-table bucket count and the computed-table slots while wiping
+/// contents, counters and governance knobs — and hands them to the next
+/// invocation. Acquire/release are mutex-protected; the managers themselves
+/// are never shared between threads concurrently (each flow owns its manager
+/// exclusively, exactly as with a stack-local Manager).
+///
+/// A manager released while external handles are still outstanding cannot be
+/// recycled (Manager::reset throws); destroying it would dangle those
+/// handles, so the pool parks it on a condemned list — alive but never
+/// handed out again — until the pool itself is destroyed, and counts the
+/// discard. Stack-local lifetimes make this impossible by scoping; the pool
+/// cannot, so it degrades to a bounded leak instead of a use-after-free.
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+
+namespace hyde::bdd {
+
+/// Point-in-time pool counters (see ManagerPool::stats).
+struct ManagerPoolStats {
+  std::uint64_t acquires = 0;   ///< total acquire calls
+  std::uint64_t hits = 0;       ///< acquires served by a recycled manager
+  std::uint64_t discards = 0;   ///< releases that could not be recycled
+  std::size_t pooled = 0;       ///< managers currently parked in the pool
+};
+
+class ManagerPool {
+ public:
+  /// \p max_pooled caps how many idle managers are parked; releases beyond
+  /// the cap destroy the manager (counted as a discard).
+  explicit ManagerPool(std::size_t max_pooled = 16)
+      : max_pooled_(max_pooled) {}
+
+  ManagerPool(const ManagerPool&) = delete;
+  ManagerPool& operator=(const ManagerPool&) = delete;
+
+  /// A warmed manager sized for \p num_vars variables, or a fresh one when
+  /// the pool is empty.
+  std::unique_ptr<Manager> acquire(int num_vars);
+
+  /// Returns a manager to the pool. The caller must have dropped every
+  /// handle first; a manager with outstanding handles is condemned (kept
+  /// alive, never recycled) and one past the pool cap is destroyed — both
+  /// count as discards.
+  void release(std::unique_ptr<Manager> mgr);
+
+  ManagerPoolStats stats() const;
+
+ private:
+  const std::size_t max_pooled_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Manager>> pool_;
+  /// Managers released with outstanding handles: unusable, but destroying
+  /// them would invalidate those handles. Freed with the pool.
+  std::vector<std::unique_ptr<Manager>> condemned_;
+  std::uint64_t acquires_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t discards_ = 0;
+};
+
+}  // namespace hyde::bdd

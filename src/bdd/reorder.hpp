@@ -1,12 +1,15 @@
 /// \file reorder.hpp
 /// \brief Static variable reordering by transfer-based sifting.
 ///
-/// The manager uses the identity order (variable index == level), so instead
-/// of in-place level swapping this module searches for a good *placement* of
-/// a function's support variables and rebuilds the BDD under it: greedy
+/// This module searches for a good *placement* of a function's support
+/// variables and rebuilds the BDD under it in a scratch manager: greedy
 /// sifting — every support variable is tried at every position, keeping the
-/// best — evaluated by rebuilding in a scratch manager. O(n² · |BDD|) per
-/// round, intended for the ≤ 24-variable functions this project handles.
+/// best. O(n² · |BDD|) per round, intended for the ≤ 24-variable functions
+/// this project handles. Since the in-place dynamic reorderer landed
+/// (Manager::reorder_sift, sift.cpp) this rebuild-based path serves as its
+/// determinism oracle: node_count_under_order must agree, level for level,
+/// with the sizes the in-place sifter reports for the same order — the
+/// rebuilt DAG and the swapped-in-place DAG are the same canonical ROBDD.
 
 #pragma once
 

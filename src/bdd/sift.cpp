@@ -1,0 +1,283 @@
+/// \file sift.cpp
+/// \brief In-place dynamic variable reordering: adjacent-level swap primitive
+/// and converging sifting (see docs/REORDER.md).
+///
+/// The swap rewrites every level-l node that depends on the level-(l+1)
+/// variable *in place* — `f = x ? f1 : f0` becomes
+/// `f = y ? (x ? f11 : f01) : (x ? f10 : f00)` — so node ids, external
+/// reference counts and the functions of live handles are all preserved;
+/// only the level map moves. Canonicity is maintained without a rebuild:
+/// a rewritten node's new (y, lo, hi) triple always has at least one
+/// x-labelled child (otherwise its cofactors would collapse and the node
+/// could not have depended on y's level pair at all), while pre-existing
+/// y-nodes never do — the triples cannot collide.
+///
+/// Because the package counts only *external* references, the reorder runs
+/// over a reorder-scoped internal count (ext_refs + parent edges) built
+/// after an up-front GC. A node whose internal count drops to zero during a
+/// swap is unlinked from the unique table and tombstoned immediately — it
+/// must not linger, because a later swap of its level would leave it under a
+/// stale bucket key and a fresh make_node could then mint a duplicate
+/// triple. Tombstoned slots are reclaimed by the GC that closes the reorder
+/// (never recycled mid-reorder, so the lazy per-var lists stay sound).
+/// Exact per-level live sizes are maintained throughout, which is what
+/// converging sifting minimizes.
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "bdd/bdd.hpp"
+#include "bdd/bdd_internal.hpp"
+
+namespace hyde::bdd {
+
+using namespace internal;
+
+/// Reorder-scoped bookkeeping; lives only for the duration of reorder_sift.
+struct Manager::ReorderState {
+  /// Internal reference counts: ext_refs plus one per parent edge from a
+  /// live node. Zero marks resurrectable garbage.
+  std::vector<std::uint32_t> ref;
+  /// Node ids per variable. Lazily maintained: entries whose node died or
+  /// changed label are skipped (and compacted) at scan time.
+  std::vector<std::vector<std::uint32_t>> by_var;
+  /// Whether an id is present in by_var[its current var].
+  std::vector<char> listed;
+  /// Live internal nodes per level; what sifting minimizes.
+  std::vector<std::size_t> level_size;
+  /// Sum of level_size.
+  std::size_t live = 0;
+};
+
+void Manager::reorder_prepare(ReorderState& st) {
+  const std::size_t vars = level_of_.size();
+  st.ref.assign(nodes_.size(), 0);
+  st.listed.assign(nodes_.size(), 0);
+  st.by_var.assign(vars, {});
+  st.level_size.assign(vars, 0);
+  st.live = 0;
+  // Post-GC every stored node is reachable from an external handle, so the
+  // internal count is ext_refs plus the parent edges we see in one sweep.
+  for (std::uint32_t id = 2; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    if (n.var < 0) continue;
+    st.ref[id] += n.ext_refs;
+    if (n.lo > kOne) ++st.ref[n.lo];
+    if (n.hi > kOne) ++st.ref[n.hi];
+    st.by_var[static_cast<std::size_t>(n.var)].push_back(id);
+    st.listed[id] = 1;
+    ++st.level_size[static_cast<std::size_t>(level_of(n.var))];
+    ++st.live;
+  }
+}
+
+void Manager::reorder_take_ref(ReorderState& st, std::uint32_t id) {
+  if (id <= kOne) return;
+  if (id >= st.ref.size()) {
+    st.ref.resize(nodes_.size(), 0);
+    st.listed.resize(nodes_.size(), 0);
+  }
+  if (st.ref[id]++ != 0) return;
+  // Fresh from make_node, or garbage resurrected by a unique-table hit:
+  // either way it becomes live again, and so do its children edges.
+  const Node& n = nodes_[id];
+  ++st.level_size[static_cast<std::size_t>(level_of(n.var))];
+  ++st.live;
+  if (!st.listed[id]) {
+    st.by_var[static_cast<std::size_t>(n.var)].push_back(id);
+    st.listed[id] = 1;
+  }
+  const std::uint32_t lo = n.lo;
+  const std::uint32_t hi = n.hi;
+  reorder_take_ref(st, lo);
+  reorder_take_ref(st, hi);
+}
+
+void Manager::reorder_drop_ref(ReorderState& st, std::uint32_t id) {
+  if (id <= kOne) return;
+  if (--st.ref[id] != 0) return;
+  // Unlink and tombstone now, while the bucket key still matches the node's
+  // level; the closing GC sweeps the slot into the free list. The id is not
+  // recycled mid-reorder, so stale by_var entries skip it via the kDeadVar
+  // label.
+  Node& n = nodes_[id];
+  --st.level_size[static_cast<std::size_t>(level_of(n.var))];
+  --st.live;
+  unique_unlink(id);
+  const std::uint32_t lo = n.lo;
+  const std::uint32_t hi = n.hi;
+  n.var = kDeadVar;
+  reorder_drop_ref(st, lo);
+  reorder_drop_ref(st, hi);
+}
+
+void Manager::swap_adjacent_levels(ReorderState& st, int upper) {
+  const int x = var_at_[static_cast<std::size_t>(upper)];
+  const int y = var_at_[static_cast<std::size_t>(upper + 1)];
+
+  // Live nodes of both levels, with the lazy lists compacted as we go.
+  // Returns by value: by_var may gain entries while the copy is iterated.
+  auto compact = [&st, this](int var) {
+    std::vector<std::uint32_t>& list =
+        st.by_var[static_cast<std::size_t>(var)];
+    std::size_t out = 0;
+    for (const std::uint32_t id : list) {
+      if (nodes_[id].var == var && st.ref[id] > 0) list[out++] = id;
+    }
+    list.resize(out);
+    return list;
+  };
+  std::vector<std::uint32_t> xs = compact(x);
+  const std::vector<std::uint32_t> ys = compact(y);
+
+  // 1. Detach both levels from the unique table (their bucket keys are about
+  // to change); the rest of the table is untouched.
+  for (const std::uint32_t id : xs) unique_unlink(id);
+  for (const std::uint32_t id : ys) unique_unlink(id);
+
+  // 2. Swap the level map (and the per-level size slots with it).
+  var_at_[static_cast<std::size_t>(upper)] = y;
+  var_at_[static_cast<std::size_t>(upper + 1)] = x;
+  level_of_[static_cast<std::size_t>(x)] = upper + 1;
+  level_of_[static_cast<std::size_t>(y)] = upper;
+  std::swap(st.level_size[static_cast<std::size_t>(upper)],
+            st.level_size[static_cast<std::size_t>(upper + 1)]);
+
+  // 3. Re-home y-nodes (now the upper level) and the x-nodes that do not
+  // depend on y; collect the interacting x-nodes for rewrite.
+  for (const std::uint32_t id : ys) unique_insert(id);
+  std::size_t out = 0;
+  for (const std::uint32_t id : xs) {
+    const Node& n = nodes_[id];
+    const bool lo_y = n.lo > kOne && nodes_[n.lo].var == y;
+    const bool hi_y = n.hi > kOne && nodes_[n.hi].var == y;
+    if (lo_y || hi_y) {
+      xs[out++] = id;  // interacting: rewritten below
+    } else {
+      unique_insert(id);  // solitary: only its bucket key changed
+    }
+  }
+  xs.resize(out);
+
+  // 4. Rewrite each interacting node in place: branch on y on top, with
+  // fresh (or looked-up) x-children underneath. Ids, ext_refs and functions
+  // are preserved.
+  for (const std::uint32_t id : xs) {
+    const std::uint32_t f0 = nodes_[id].lo;
+    const std::uint32_t f1 = nodes_[id].hi;
+    const bool lo_y = f0 > kOne && nodes_[f0].var == y;
+    const bool hi_y = f1 > kOne && nodes_[f1].var == y;
+    const std::uint32_t f00 = lo_y ? nodes_[f0].lo : f0;
+    const std::uint32_t f01 = lo_y ? nodes_[f0].hi : f0;
+    const std::uint32_t f10 = hi_y ? nodes_[f1].lo : f1;
+    const std::uint32_t f11 = hi_y ? nodes_[f1].hi : f1;
+    const std::uint32_t new_lo = make_node(x, f00, f10);
+    const std::uint32_t new_hi = make_node(x, f01, f11);
+    reorder_take_ref(st, new_lo);
+    reorder_take_ref(st, new_hi);
+    Node& n = nodes_[id];
+    n.var = y;
+    n.lo = new_lo;
+    n.hi = new_hi;
+    // The node moves from the x slot (lower) to the y slot (upper).
+    --st.level_size[static_cast<std::size_t>(upper + 1)];
+    ++st.level_size[static_cast<std::size_t>(upper)];
+    unique_insert(id);
+    // listed tracks membership in by_var[current label], which just changed.
+    st.by_var[static_cast<std::size_t>(y)].push_back(id);
+    reorder_drop_ref(st, f0);
+    reorder_drop_ref(st, f1);
+  }
+}
+
+int Manager::sift_one_var(ReorderState& st, int start_level,
+                          double sift_growth) {
+  const int levels = static_cast<int>(var_at_.size());
+  const std::size_t start_size = st.live;
+  const std::size_t growth_cap = static_cast<std::size_t>(
+      static_cast<double>(start_size) * sift_growth);
+  std::size_t best_size = st.live;
+  int best_level = start_level;
+  int cur = start_level;
+
+  // Visit the nearer end first (fewer swaps to undo on retreat), then sweep
+  // to the other end; strict improvement keeps the first best deterministic.
+  const bool down_first = (levels - 1 - start_level) <= start_level;
+  for (int pass = 0; pass < 2; ++pass) {
+    const bool down = down_first == (pass == 0);
+    while (down ? cur + 1 < levels : cur > 0) {
+      swap_adjacent_levels(st, down ? cur : cur - 1);
+      cur += down ? 1 : -1;
+      if (st.live < best_size) {
+        best_size = st.live;
+        best_level = cur;
+      }
+      if (st.live > growth_cap) break;
+    }
+    // Return toward the start before sweeping the other direction; the
+    // second pass continues past it, so only retreat as far as needed.
+    if (pass == 0) {
+      while (cur > start_level) swap_adjacent_levels(st, --cur);
+      while (cur < start_level) swap_adjacent_levels(st, cur++);
+    }
+  }
+  // Park the variable at the best level seen.
+  while (cur > best_level) swap_adjacent_levels(st, --cur);
+  while (cur < best_level) swap_adjacent_levels(st, cur++);
+  return best_level;
+}
+
+std::size_t Manager::reorder_sift(const ReorderOptions& options) {
+  if (in_reorder_) return nodes_.size() - free_list_.size();
+  if (options.max_rounds < 1 || !(options.convergence >= 0.0) ||
+      !(options.sift_growth >= 1.0)) {
+    throw std::invalid_argument("Manager::reorder_sift: bad ReorderOptions");
+  }
+  // Clean slate: only reachable nodes enter the reorder-scoped counts.
+  collect_garbage();
+  in_reorder_ = true;
+  ReorderState st;
+  reorder_prepare(st);
+
+  struct Candidate {
+    int var;
+    std::size_t size;
+  };
+  for (int round = 0; round < options.max_rounds && st.live > 1; ++round) {
+    const std::size_t round_start = st.live;
+    // Biggest levels first (they have the most to give), index-tied for
+    // determinism; the list is fixed per round even as sizes shift.
+    std::vector<Candidate> order;
+    for (std::size_t v = 0; v < level_of_.size(); ++v) {
+      const std::size_t size =
+          st.level_size[static_cast<std::size_t>(level_of_[v])];
+      if (size > 0) order.push_back({static_cast<int>(v), size});
+    }
+    std::sort(order.begin(), order.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.size != b.size ? a.size > b.size : a.var < b.var;
+              });
+    for (const Candidate& c : order) {
+      sift_one_var(st, level_of_[static_cast<std::size_t>(c.var)],
+                   options.sift_growth);
+    }
+    const std::size_t gained = round_start - std::min(round_start, st.live);
+    if (static_cast<double>(gained) <
+        options.convergence * static_cast<double>(round_start)) {
+      break;
+    }
+  }
+
+  in_reorder_ = false;
+  // Flush the resurrectable garbage, clear the computed table and compose
+  // contexts, normalize the unique table (deferred growth rehash included)
+  // and audit under HYDE_CHECKED.
+  collect_garbage();
+  ++reorder_runs_;
+  ++reorder_epoch_;
+  const std::size_t live = nodes_.size() - free_list_.size();
+  reorder_watermark_ = std::max<std::size_t>(live, 2);
+  return live;
+}
+
+}  // namespace hyde::bdd

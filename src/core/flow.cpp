@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <map>
+#include <memory>
 #include <set>
 #include <stdexcept>
 #include <unordered_map>
@@ -48,6 +50,18 @@ std::uint64_t cache_fingerprint(const FlowOptions& options) {
   mix(static_cast<std::uint64_t>(options.encoding));
   mix(static_cast<std::uint64_t>(options.dc_policy));
   mix(options.ppi_hard_mu ? 1 : 0);
+  // Reorder knobs are result-affecting (the variable order steers cube-min
+  // costs and budget outcomes), so templates computed under different
+  // reorder policies must not be shared. The manager pool is allocation
+  // reuse only and stays out.
+  if (options.reorder != bdd::ReorderMode::kOff) {
+    mix(static_cast<std::uint64_t>(options.reorder));
+    std::uint64_t growth_bits = 0;
+    static_assert(sizeof(growth_bits) == sizeof(options.reorder_max_growth));
+    std::memcpy(&growth_bits, &options.reorder_max_growth,
+                sizeof(growth_bits));
+    mix(growth_bits);
+  }
   return h;
 }
 
@@ -614,6 +628,7 @@ FlowResult run_flow(const net::Network& input, const FlowOptions& options,
     next.stats.bdd_cache_misses += result.stats.bdd_cache_misses;
     next.stats.bdd_cache_overwrites += result.stats.bdd_cache_overwrites;
     next.stats.bdd_gc_runs += result.stats.bdd_gc_runs;
+    next.stats.bdd_reorder_runs += result.stats.bdd_reorder_runs;
     next.stats.bdd_peak_live_nodes =
         std::max(next.stats.bdd_peak_live_nodes,
                  result.stats.bdd_peak_live_nodes);
@@ -624,6 +639,24 @@ FlowResult run_flow(const net::Network& input, const FlowOptions& options,
 }
 
 namespace {
+
+/// Owns the flow's global manager for the duration of run_flow_once and, when
+/// a pool is configured, returns it on every exit path (including the
+/// std::length_error unwind the windowed engine relies on). Declared before
+/// every Bdd local so the manager is destroyed/released last.
+struct GlobalManagerGuard {
+  bdd::ManagerPool* pool = nullptr;
+  std::unique_ptr<bdd::Manager> mgr;
+
+  GlobalManagerGuard(bdd::ManagerPool* p, int num_vars) : pool(p) {
+    mgr = pool != nullptr ? pool->acquire(num_vars)
+                          : std::make_unique<bdd::Manager>(num_vars);
+  }
+  ~GlobalManagerGuard() {
+    if (pool != nullptr && mgr != nullptr) pool->release(std::move(mgr));
+  }
+};
+
 FlowResult run_flow_once(const net::Network& input, const FlowOptions& options,
                          const net::Network* external_dc) {
   FlowResult result;
@@ -631,8 +664,18 @@ FlowResult run_flow_once(const net::Network& input, const FlowOptions& options,
   net::Network& out = result.network;
   out.set_model_name(input.model_name());
 
-  bdd::Manager gm(std::max(2, input.num_nodes()));
+  GlobalManagerGuard gm_guard(options.manager_pool,
+                              std::max(2, input.num_nodes()));
+  bdd::Manager& gm = *gm_guard.mgr;
   if (options.bdd_node_limit != 0) gm.set_node_limit(options.bdd_node_limit);
+  if (options.reorder != bdd::ReorderMode::kOff) {
+    gm.set_reorder_mode(options.reorder, options.reorder_max_growth);
+    // Soft budget at half the hard cap: GC, then sifting, get a chance to
+    // shrink the DAG before growth runs into the std::length_error rung.
+    if (options.bdd_node_limit != 0) {
+      gm.set_soft_node_limit(options.bdd_node_limit / 2);
+    }
+  }
   Decomposer decomposer(gm, out, options, stats);
 
   stats.collapse_mode =

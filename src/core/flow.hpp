@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "bdd/bdd.hpp"
+#include "bdd/pool.hpp"
 #include "core/decomp_cache.hpp"
 #include "core/encoder.hpp"
 #include "decomp/search.hpp"
@@ -108,6 +109,25 @@ struct FlowOptions {
   /// through. Result-neutral whenever the flow completes, so excluded from
   /// the NPN-cache fingerprint like the other engine knobs.
   std::size_t bdd_node_limit = 0;
+
+  /// Dynamic variable reordering in the flow's global BDD manager (see
+  /// docs/REORDER.md). kSift arms the soft-budget ladder (half the hard
+  /// bdd_node_limit when one is set), kAuto adds the growth trigger. Unlike
+  /// the engine knobs above these are **result-affecting**: the variable
+  /// order steers one_path_count cube costs and which windows fit a budget,
+  /// so both enter the NPN-cache fingerprint.
+  bdd::ReorderMode reorder = bdd::ReorderMode::kOff;
+  /// kAuto growth trigger: reorder when live nodes exceed this factor of the
+  /// watermark left by the last reorder. Must be > 1.
+  double reorder_max_growth = 2.0;
+
+  /// Optional pool of warmed managers (bdd/pool.hpp): the flow acquires its
+  /// global manager from the pool and releases it on exit instead of
+  /// constructing/destroying one per invocation. Purely an allocation-reuse
+  /// knob — never result-affecting — so excluded from the fingerprint. The
+  /// pool must outlive every flow using it; it is safe to share one pool
+  /// across batch worker threads.
+  bdd::ManagerPool* manager_pool = nullptr;
 };
 
 /// Flow outcome counters (area is the post-sweep logic node count; the
@@ -131,6 +151,7 @@ struct FlowStats {
   std::uint64_t bdd_cache_misses = 0;
   std::uint64_t bdd_cache_overwrites = 0;
   std::uint64_t bdd_gc_runs = 0;
+  std::uint64_t bdd_reorder_runs = 0;
   std::uint64_t bdd_peak_live_nodes = 0;  ///< max over managers, not a sum
 
   // Bound-set search engine counters (decomp/search.hpp). Volatile like the
@@ -182,6 +203,7 @@ struct FlowStats {
     bdd_cache_misses += s.cache_misses;
     bdd_cache_overwrites += s.cache_overwrites;
     bdd_gc_runs += static_cast<std::uint64_t>(s.gc_runs);
+    bdd_reorder_runs += static_cast<std::uint64_t>(s.reorder_runs);
     if (s.peak_live_nodes > bdd_peak_live_nodes) {
       bdd_peak_live_nodes = s.peak_live_nodes;
     }

@@ -355,6 +355,15 @@ VarPartitionResult BoundSetSearch::select(const IsfBdd& f,
   const auto start = std::chrono::steady_clock::now();
   ++stats_.selects;
 
+  // hyde-reorder-scope: the memo keys on raw node ids of mgr_ and the
+  // snapshots copy its current DAG shape; both are valid only within one
+  // reorder epoch of the source manager.
+  if (mgr_.reorder_epoch() != observed_epoch_) {
+    if (!memo_->table.empty()) ++stats_.memo_clears;
+    clear_memo();
+    observed_epoch_ = mgr_.reorder_epoch();
+  }
+
   VarPartitionResult result;
   if (options.bound_size <= 0 ||
       options.bound_size > static_cast<int>(support.size())) {

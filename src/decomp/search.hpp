@@ -119,6 +119,11 @@ class BoundSetSearch {
   bdd::Manager& mgr_;
   SearchOptions options_;
   SearchStats stats_;
+  /// Reorder epoch of mgr_ the memo and snapshots were built against. Memo
+  /// entries pin their roots (ids stay unique) and column counts are
+  /// order-invariant, but the epoch contract is observed anyway: a reorder
+  /// flushes everything, so a stale hit is impossible by construction.
+  std::uint64_t observed_epoch_ = 0;
   std::unique_ptr<Memo> memo_;
   std::vector<std::unique_ptr<Snapshot>> snapshots_;
   /// Pin the snapshot source so id equality implies function equality.

@@ -52,6 +52,7 @@ void accumulate_flow_stats(core::FlowStats* into, const core::FlowStats& s) {
   into->bdd_cache_misses += s.bdd_cache_misses;
   into->bdd_cache_overwrites += s.bdd_cache_overwrites;
   into->bdd_gc_runs += s.bdd_gc_runs;
+  into->bdd_reorder_runs += s.bdd_reorder_runs;
   into->bdd_peak_live_nodes =
       std::max(into->bdd_peak_live_nodes, s.bdd_peak_live_nodes);
   into->absorb_search_and_phases(s);

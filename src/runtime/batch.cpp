@@ -40,12 +40,18 @@ RunReport run_batch(const std::vector<BatchJob>& jobs,
 
   NpnResultCache cache;
   core::DecompCache* shared_cache = options.use_cache ? &cache : nullptr;
+  // One pool for the whole batch: managers warmed by any job are reused by
+  // whichever job acquires next. Outlives the scheduler block below, so
+  // every job has released its manager before the pool dies.
+  bdd::ManagerPool manager_pool;
+  bdd::ManagerPool* shared_pool =
+      options.manager_pool ? &manager_pool : nullptr;
 
   const auto start = std::chrono::steady_clock::now();
   {
     JobScheduler pool(report.workers);
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-      pool.submit([&jobs, &report, &options, shared_cache, i] {
+      pool.submit([&jobs, &report, &options, shared_cache, shared_pool, i] {
         const BatchJob& job = jobs[i];
         JobReport& out = report.jobs[i];
         out.circuit = job.circuit;
@@ -57,7 +63,8 @@ RunReport run_batch(const std::vector<BatchJob>& jobs,
           const baseline::BaselineResult result = baseline::run_system(
               input, job.system, job.k, options.verify_vectors, job.seed,
               shared_cache, options.cache_max_support, options.search_threads,
-              options.encoder_threads, options.class_signatures);
+              options.encoder_threads, options.class_signatures,
+              options.reorder, options.reorder_max_growth, shared_pool);
           out.luts = result.luts;
           out.clbs = result.clbs;
           out.depth = result.depth;
@@ -84,6 +91,7 @@ RunReport run_batch(const std::vector<BatchJob>& jobs,
     report.bdd.cache_misses += job.stats.bdd_cache_misses;
     report.bdd.cache_overwrites += job.stats.bdd_cache_overwrites;
     report.bdd.gc_runs += job.stats.bdd_gc_runs;
+    report.bdd.reorder_runs += job.stats.bdd_reorder_runs;
     if (job.stats.bdd_peak_live_nodes > report.bdd.peak_live_nodes) {
       report.bdd.peak_live_nodes = job.stats.bdd_peak_live_nodes;
     }

@@ -48,6 +48,14 @@ struct BatchOptions {
   /// Packed-signature column-compatibility fast path (decomp/compatible.hpp).
   /// Result-identical on and off.
   bool class_signatures = true;
+  /// Dynamic variable reordering inside each job's flow manager
+  /// (docs/REORDER.md). Result-affecting — part of the NPN-cache
+  /// fingerprint — but still bit-identical across worker counts.
+  bdd::ReorderMode reorder = bdd::ReorderMode::kOff;
+  double reorder_max_growth = 2.0;
+  /// Recycle warmed BDD managers across the batch's flow invocations through
+  /// one shared, mutex-protected pool (bdd/pool.hpp). Result-neutral.
+  bool manager_pool = false;
 };
 
 /// Number of workers to use when the caller has no preference: the hardware

@@ -58,6 +58,7 @@ std::string to_json(const RunReport& report, bool include_volatile) {
            std::to_string(report.bdd.cache_overwrites);
     out += ", \"hit_rate\": " + format_double(report.bdd.hit_rate());
     out += ", \"gc_runs\": " + std::to_string(report.bdd.gc_runs);
+    out += ", \"reorder_runs\": " + std::to_string(report.bdd.reorder_runs);
     out += ", \"peak_live_nodes\": " +
            std::to_string(report.bdd.peak_live_nodes);
     out += "},\n";
@@ -147,6 +148,8 @@ std::string to_json(const RunReport& report, bool include_volatile) {
       out += ", \"cache_overwrites\": " +
              std::to_string(job.stats.bdd_cache_overwrites);
       out += ", \"gc_runs\": " + std::to_string(job.stats.bdd_gc_runs);
+      out += ", \"reorder_runs\": " +
+             std::to_string(job.stats.bdd_reorder_runs);
       out += ", \"peak_live_nodes\": " +
              std::to_string(job.stats.bdd_peak_live_nodes);
       out += "}";
@@ -211,7 +214,8 @@ std::string to_csv(const RunReport& report) {
       "circuit,system,k,seed,luts,clbs,depth,verified,error,"
       "decomposition_steps,shannon_fallbacks,hyper_groups,encoder_runs,"
       "encoder_random_kept,collapse_mode,cache_lookups,seconds,"
-      "bdd_cache_hits,bdd_cache_misses,bdd_gc_runs,bdd_peak_live_nodes,"
+      "bdd_cache_hits,bdd_cache_misses,bdd_gc_runs,bdd_reorder_runs,"
+      "bdd_peak_live_nodes,"
       "search_selects,search_evaluated,search_pruned,search_memo_hits,"
       "varpart_seconds,classes_seconds,encoding_seconds,mapping_seconds,"
       "class_signature_pairs,class_bdd_pairs,encoder_parallel_tasks,"
@@ -233,6 +237,7 @@ std::string to_csv(const RunReport& report) {
            std::to_string(job.stats.bdd_cache_hits) + "," +
            std::to_string(job.stats.bdd_cache_misses) + "," +
            std::to_string(job.stats.bdd_gc_runs) + "," +
+           std::to_string(job.stats.bdd_reorder_runs) + "," +
            std::to_string(job.stats.bdd_peak_live_nodes) + "," +
            std::to_string(job.stats.search_selects) + "," +
            std::to_string(job.stats.search_candidates_evaluated) + "," +

@@ -66,6 +66,7 @@ struct BddKernelReport {
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_overwrites = 0;
   std::uint64_t gc_runs = 0;
+  std::uint64_t reorder_runs = 0;
   std::uint64_t peak_live_nodes = 0;  ///< max over all managers in the batch
 
   double hit_rate() const {

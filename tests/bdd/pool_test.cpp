@@ -1,0 +1,143 @@
+/// \file pool_test.cpp
+/// \brief ManagerPool recycling: warm reuse, discard-on-outstanding-handles,
+/// reset semantics and concurrent acquire/release.
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.hpp"
+#include "bdd/pool.hpp"
+
+namespace hyde::bdd {
+namespace {
+
+TEST(ManagerPoolTest, RecyclesAWarmedManager) {
+  ManagerPool pool;
+  std::unique_ptr<Manager> mgr = pool.acquire(8);
+  ASSERT_NE(mgr, nullptr);
+  {
+    // Grow the store so the recycled manager is measurably warm.
+    Bdd f = mgr->zero();
+    for (int i = 0; i < 4; ++i) f = f | (mgr->var(i) & mgr->var(4 + i));
+  }
+  const std::size_t warmed_store = mgr->store_size();
+  EXPECT_GT(warmed_store, 2u);
+  Manager* raw = mgr.get();
+  pool.release(std::move(mgr));
+
+  std::unique_ptr<Manager> again = pool.acquire(8);
+  EXPECT_EQ(again.get(), raw) << "pool did not hand back the parked manager";
+  // Capacity is retained but contents were reset.
+  EXPECT_EQ(again->live_node_count(), 0u);
+  EXPECT_EQ(again->gc_runs(), 0);
+  EXPECT_EQ(again->reorder_runs(), 0);
+
+  const ManagerPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.acquires, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.discards, 0u);
+}
+
+TEST(ManagerPoolTest, RecycledManagerComputesCorrectly) {
+  ManagerPool pool;
+  std::unique_ptr<Manager> mgr = pool.acquire(6);
+  {
+    Bdd junk = (mgr->var(0) & mgr->var(1)) | mgr->var(5);
+  }
+  pool.release(std::move(mgr));
+  std::unique_ptr<Manager> again = pool.acquire(6);
+  const Bdd f = (again->var(0) ^ again->var(1)) & again->var(2);
+  EXPECT_EQ(again->sat_count(f, 3), 2.0);
+  EXPECT_TRUE(again->audit_invariants().ok());
+}
+
+TEST(ManagerPoolTest, CondemnsManagersWithOutstandingHandles) {
+  ManagerPool pool;
+  std::unique_ptr<Manager> mgr = pool.acquire(4);
+  Manager* raw = mgr.get();
+  // Keep a handle alive across the release: reset must refuse, and the pool
+  // must condemn the manager (keep it alive, never recycle) so the handle
+  // stays valid.
+  const Bdd leaked = mgr->var(0);
+  pool.release(std::move(mgr));
+  const ManagerPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.discards, 1u);
+  EXPECT_EQ(stats.pooled, 0u);
+  // The condemned manager is still alive: the handle works...
+  EXPECT_EQ(leaked.top_var(), 0);
+  EXPECT_TRUE(raw->eval(leaked, {true, false, false, false}));
+  // ...and is never handed back out.
+  std::unique_ptr<Manager> fresh = pool.acquire(4);
+  EXPECT_NE(fresh.get(), raw);
+  EXPECT_EQ(pool.stats().hits, 0u);
+}
+
+TEST(ManagerPoolTest, ResetRejectsOutstandingHandles) {
+  Manager mgr(4);
+  const Bdd held = mgr.var(1);
+  EXPECT_THROW(mgr.reset(4), std::logic_error);
+}
+
+TEST(ManagerPoolTest, ResetRestoresGovernanceDefaults) {
+  Manager mgr(8);
+  mgr.set_node_limit(4096);
+  mgr.set_soft_node_limit(1024);
+  mgr.set_reorder_mode(ReorderMode::kAuto, 1.5);
+  {
+    Bdd f = mgr.var(0) & mgr.var(7);
+  }
+  mgr.reset(4);
+  EXPECT_EQ(mgr.num_vars(), 4);
+  EXPECT_EQ(mgr.node_limit(), 0u);
+  EXPECT_EQ(mgr.soft_node_limit(), 0u);
+  EXPECT_EQ(mgr.reorder_mode(), ReorderMode::kOff);
+  EXPECT_EQ(mgr.reorder_epoch(), 0u);
+  EXPECT_EQ(mgr.live_node_count(), 0u);
+  for (int level = 0; level < 4; ++level) {
+    EXPECT_EQ(mgr.var_at(level), level);
+  }
+  EXPECT_TRUE(mgr.audit_invariants().ok());
+}
+
+TEST(ManagerPoolTest, CapBoundsThePoolAndCountsDiscards) {
+  ManagerPool pool(/*max_pooled=*/1);
+  std::unique_ptr<Manager> a = pool.acquire(4);
+  std::unique_ptr<Manager> b = pool.acquire(4);
+  pool.release(std::move(a));
+  pool.release(std::move(b));  // pool full: destroyed
+  const ManagerPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.pooled, 1u);
+  EXPECT_EQ(stats.discards, 1u);
+}
+
+TEST(ManagerPoolTest, ConcurrentAcquireReleaseIsSafe) {
+  ManagerPool pool(/*max_pooled=*/8);
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 64;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&pool, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        std::unique_ptr<Manager> mgr = pool.acquire(8);
+        {
+          // Distinct top vars keep f non-constant for every (t, i).
+          const Bdd f = (mgr->var(t % 4) | mgr->var(4 + i % 4)) &
+                        ~mgr->var((i * 3) % 8);
+          ASSERT_FALSE(f.is_constant());
+        }
+        pool.release(std::move(mgr));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const ManagerPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.acquires, static_cast<std::uint64_t>(kThreads * kIterations));
+  EXPECT_LE(stats.pooled, 8u);
+}
+
+}  // namespace
+}  // namespace hyde::bdd

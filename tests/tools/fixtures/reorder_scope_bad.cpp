@@ -1,0 +1,14 @@
+// Fixture: a hyde-reorder-scope region that caches raw level reads but
+// never consults the reorder epoch. The marker line is diagnosed once,
+// and each raw level_of / var_at read inside the region is flagged.
+#include <vector>
+
+// hyde-reorder-scope
+void cache_levels(Manager& mgr, std::vector<int>& cache) {
+  cache.push_back(mgr.level_of(3));  // line 8: raw level read
+  cache.push_back(mgr.var_at(0));    // line 9: raw position read
+}
+
+void epochless_but_unmarked(Manager& mgr, std::vector<int>& cache) {
+  cache.push_back(mgr.level_of(1));  // outside any marked region: allowed
+}

@@ -1,0 +1,13 @@
+// Fixture: a hyde-reorder-scope region that gates its cached levels on
+// Manager::reorder_epoch() — the rule must stay silent.
+#include <vector>
+
+// hyde-reorder-scope
+void cache_levels(Manager& mgr, std::vector<int>& cache, unsigned& epoch) {
+  if (epoch != mgr.reorder_epoch()) {
+    cache.clear();
+    epoch = mgr.reorder_epoch();
+  }
+  cache.push_back(mgr.level_of(3));
+  cache.push_back(mgr.var_at(0));
+}

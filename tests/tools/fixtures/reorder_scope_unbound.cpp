@@ -1,0 +1,14 @@
+// Fixture: a hyde-reorder-scope marker above a bodiless declaration
+// binds to nothing; the checker must diagnose the dangling marker and
+// must not latch onto the later epoch-free function below.
+#include <vector>
+// hyde-reorder-scope
+void declared_only(Manager& mgr);
+
+// Enough commentary here that the bind window expires well before the
+// next braced region opens, proving the pending marker is dropped and
+// diagnosed rather than silently attached to later_fn below.
+
+void later_fn(Manager& mgr, std::vector<int>& cache) {
+  cache.push_back(mgr.level_of(2));  // no marked region here: allowed
+}

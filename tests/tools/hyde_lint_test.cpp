@@ -95,6 +95,36 @@ TEST(HydeLintTest, UnboundMarkerIsDiagnosedAndDoesNotLatch) {
   EXPECT_EQ(got, want);
 }
 
+TEST(HydeLintTest, ReportsEpochlessReorderScopeWithRawLevelReads) {
+  const auto diags = lint_content("src/fake/levels.cpp",
+                                  fixture("reorder_scope_bad.cpp"), {});
+  const auto got = summarize(diags);
+  const std::vector<std::pair<int, std::string>> want = {
+      {6, "reorder-epoch"},  // the marker: region never checks the epoch
+      {8, "reorder-epoch"},  // level_of read inside the epoch-less region
+      {9, "reorder-epoch"},  // var_at read inside the epoch-less region
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(HydeLintTest, ReorderScopeThatChecksEpochIsClean) {
+  const auto diags = lint_content("src/fake/levels.cpp",
+                                  fixture("reorder_scope_good.cpp"), {});
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(HydeLintTest, UnboundReorderScopeMarkerIsDiagnosedAndDoesNotLatch) {
+  // A marker over a bodiless declaration must be reported as dangling and
+  // must not flag the epoch-free function that opens a brace later on.
+  const auto diags = lint_content("src/fake/levels.cpp",
+                                  fixture("reorder_scope_unbound.cpp"), {});
+  const auto got = summarize(diags);
+  const std::vector<std::pair<int, std::string>> want = {
+      {5, "reorder-epoch"},  // the dangling marker; later_fn stays clean
+  };
+  EXPECT_EQ(got, want);
+}
+
 TEST(HydeLintTest, ReportsIostreamInLibraryCode) {
   const auto diags =
       lint_content("src/fake/print.cpp", fixture("lib_iostream.cpp"), {});

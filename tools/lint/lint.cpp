@@ -165,6 +165,14 @@ const std::vector<TokenRule>& iostream_rules() {
   return rules;
 }
 
+/// Raw level-map / variable-map reads: the values these return are remapped
+/// by every dynamic reorder, so caching them across calls is only sound
+/// within one reorder epoch.
+const std::regex& raw_level_pattern() {
+  static const std::regex pattern(R"(\b(level_of|var_at)\s*\()");
+  return pattern;
+}
+
 }  // namespace
 
 std::vector<AllowEntry> parse_allowlist(const std::string& text) {
@@ -229,6 +237,37 @@ std::vector<Diagnostic> lint_content(const std::string& path,
   int hot_depth = 0;
   int hot_marker_line = 0;
 
+  // Reorder-scope tracking, same binding mechanics as hyde-hot: a
+  // `// hyde-reorder-scope` comment marks a region that intentionally holds
+  // raw levels or node ids across calls (docs/REORDER.md). Such a region
+  // must consult `reorder_epoch` somewhere inside — capture it with the
+  // cached state, compare it before reuse — or the cache replays stale
+  // levels after the first reorder. The check is closed out when the region
+  // ends, because the epoch mention may legitimately follow the raw reads.
+  bool scope_pending = false;
+  int scope_depth = 0;
+  int scope_marker_line = 0;
+  bool scope_has_epoch = false;
+  std::vector<int> scope_raw_reads;
+
+  const auto close_scope = [&]() {
+    if (!scope_has_epoch) {
+      report(scope_marker_line, "reorder-epoch",
+             "hyde-reorder-scope region never checks reorder_epoch",
+             "capture Manager::reorder_epoch() alongside the cached state "
+             "and compare it before every reuse");
+      for (const int read_line : scope_raw_reads) {
+        report(read_line, "reorder-epoch",
+               "raw level/id read cached in a region that ignores the "
+               "reorder epoch",
+               "levels and variable positions move on every reorder; gate "
+               "the cached value on reorder_epoch()");
+      }
+    }
+    scope_has_epoch = false;
+    scope_raw_reads.clear();
+  };
+
   for (std::size_t i = 0; i < lines.size(); ++i) {
     const int line_no = static_cast<int>(i) + 1;
     const std::string& raw = lines[i];
@@ -263,6 +302,50 @@ std::vector<Diagnostic> lint_content(const std::string& path,
              "hyde-hot marker does not bind to a function body",
              "place the marker directly above (or on) the line that opens "
              "the function it covers");
+    }
+
+    const bool scope_marker_here =
+        raw.find("hyde-reorder-scope") != std::string::npos &&
+        c.find("hyde-reorder-scope") == std::string::npos;
+    if (scope_marker_here) {
+      scope_pending = true;
+      scope_marker_line = line_no;
+      scope_has_epoch = false;
+      scope_raw_reads.clear();
+    }
+    const bool line_in_scope =
+        scope_depth > 0 ||
+        (scope_pending && c.find('{') != std::string::npos);
+    bool scope_closed = false;
+    if (scope_pending || scope_depth > 0) {
+      for (const char ch : c) {
+        if (ch == '{') {
+          scope_depth += 1;
+          scope_pending = false;
+        } else if (ch == '}') {
+          if (scope_depth > 0) scope_depth -= 1;
+          if (scope_depth == 0 && !scope_pending) {
+            scope_closed = true;
+            break;
+          }
+        }
+      }
+    }
+    if (line_in_scope) {
+      if (c.find("reorder_epoch") != std::string::npos) {
+        scope_has_epoch = true;
+      }
+      if (std::regex_search(c, raw_level_pattern())) {
+        scope_raw_reads.push_back(line_no);
+      }
+    }
+    if (scope_closed) close_scope();
+    if (scope_pending && line_no - scope_marker_line >= kHotBindWindow) {
+      scope_pending = false;
+      report(scope_marker_line, "reorder-epoch",
+             "hyde-reorder-scope marker does not bind to a braced region",
+             "place the marker directly above (or on) the line that opens "
+             "the region holding the cached levels");
     }
 
     // The marker line itself is exempt from the token rules: it is
@@ -300,6 +383,16 @@ std::vector<Diagnostic> lint_content(const std::string& path,
            "place the marker directly above (or on) the line that opens "
            "the function it covers");
   }
+
+  if (scope_pending) {
+    report(scope_marker_line, "reorder-epoch",
+           "hyde-reorder-scope marker does not bind to a braced region",
+           "place the marker directly above (or on) the line that opens "
+           "the region holding the cached levels");
+  }
+  // A region still open at end of file (truncated fixture or unbalanced
+  // braces) is judged on what it contained.
+  if (scope_depth > 0) close_scope();
 
   if (is_header(path)) {
     bool has_pragma_once = false;

@@ -18,6 +18,14 @@
 ///                        allowlist)
 ///  - `include-hygiene`   headers carry #pragma once, no `#include "../`,
 ///                        no `using namespace` in headers
+///  - `reorder-epoch`     regions marked `// hyde-reorder-scope` (code that
+///                        intentionally caches raw BDD levels or node ids
+///                        across calls — both are remapped by dynamic
+///                        variable reordering, see docs/REORDER.md) must
+///                        mention `reorder_epoch` inside the region; raw
+///                        `level_of(` / `var_at(` reads in an epoch-less
+///                        region are flagged line-by-line, and a marker that
+///                        never binds to a braced region is itself diagnosed
 ///
 /// See docs/ANALYSIS.md for the rationale behind each rule and the
 /// allowlist format.
