@@ -25,6 +25,29 @@
 ///   --read-latches  accept sequential BLIF by extracting the combinational
 ///                 core (latch outputs become PIs, latch inputs become POs)
 ///
+/// Flow-shaping knobs (single-circuit and --in windowed runs; they override
+/// the -s system preset, so e.g. `-s hyde --encoding random` is HYDE with
+/// Step-1 random encoding only). Batch mode runs the preset systems as
+/// published and rejects these, except --cache-max-support and
+/// --no-class-signatures which map onto batch options:
+///
+///   --encoding random|classes|cubes   class-encoding policy
+///   --dc-policy columns|clique        DC assignment (distinct columns vs
+///                 the paper's clique partitioning)
+///   --no-hyper            never group outputs into hyper-functions
+///   --group-choice auto|always|never  how a multi-output group is realized
+///   --ppi-hard-mu         FGSyn-like: PPIs never enter a bound set
+///   --max-group-size <n>  ingredients per hyper-function (default 4)
+///   --collapse-support <n>  PI-count threshold for collapse mode
+///   --passes <n>          flow re-applications (default 1)
+///   --cache-max-support <n>  NPN-cache support ceiling (default 7)
+///   --no-search-memo      disable chart-column memoization
+///   --no-search-pruning   disable incumbent-based chart pruning
+///   --no-class-signatures force per-pair BDD compatibility tests
+///   --signature-rows <n>  row-space bound for the signature fast path
+///   --node-limit <n>      live-BDD-node hard cap (0 = unlimited)
+///   --tear-penalty <x>    encoder tearing-penalty weight (default 1.0)
+///
 /// Windowed mode handles netlists too large to decompose whole by
 /// resynthesizing bounded windows (src/part/) and stitching them back:
 ///
@@ -86,7 +109,15 @@ int usage() {
                "[-o out.blif] [--pla-out out.pla] [--no-verify] [--profile] "
                "[--search-threads n] [--encoder-threads n] "
                "[--reorder off|sift|auto] [--reorder-max-growth x] "
-               "[--manager-pool] <circuit.blif|circuit.pla|@benchmark>\n"
+               "[--manager-pool] [flow knobs] "
+               "<circuit.blif|circuit.pla|@benchmark>\n"
+               "  flow knobs: [--encoding random|classes|cubes] "
+               "[--dc-policy columns|clique] [--no-hyper] "
+               "[--group-choice auto|always|never] [--ppi-hard-mu] "
+               "[--max-group-size n] [--collapse-support n] [--passes n] "
+               "[--cache-max-support n] [--no-search-memo] "
+               "[--no-search-pruning] [--no-class-signatures] "
+               "[--signature-rows n] [--node-limit n] [--tear-penalty x]\n"
                "       hyde_cli --batch [-k n] [-s system|all] [--workers n] "
                "[--seed n] [--json file] [--csv file] [--deterministic-json] "
                "[--no-cache] [--no-verify] [--profile] [--search-threads n] "
@@ -143,6 +174,95 @@ bool parse_reorder_mode(const std::string& arg, hyde::bdd::ReorderMode* out) {
   return true;
 }
 
+/// Maps an --encoding argument to the flow policy; false on unknown names.
+bool parse_encoding(const std::string& arg, hyde::core::EncodingPolicy* out) {
+  if (arg == "random") {
+    *out = hyde::core::EncodingPolicy::kRandom;
+  } else if (arg == "classes") {
+    *out = hyde::core::EncodingPolicy::kCompatibleClass;
+  } else if (arg == "cubes") {
+    *out = hyde::core::EncodingPolicy::kCubeCount;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Maps a --dc-policy argument to the class policy; false on unknown names.
+bool parse_dc_policy(const std::string& arg, hyde::decomp::DcPolicy* out) {
+  if (arg == "columns") {
+    *out = hyde::decomp::DcPolicy::kDistinctColumns;
+  } else if (arg == "clique") {
+    *out = hyde::decomp::DcPolicy::kCliquePartition;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Maps a --group-choice argument to the realization rule.
+bool parse_group_choice(const std::string& arg, hyde::core::GroupChoice* out) {
+  if (arg == "auto") {
+    *out = hyde::core::GroupChoice::kAuto;
+  } else if (arg == "always") {
+    *out = hyde::core::GroupChoice::kAlwaysHyper;
+  } else if (arg == "never") {
+    *out = hyde::core::GroupChoice::kNeverHyper;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// FlowOptions overrides collected from the flow-shaping flags. Every field
+/// starts "unset" so the -s system preset keeps its published defaults
+/// unless the user explicitly turned a knob.
+struct FlowOverrides {
+  bool has_encoding = false;
+  hyde::core::EncodingPolicy encoding =
+      hyde::core::EncodingPolicy::kCompatibleClass;
+  bool has_dc_policy = false;
+  hyde::decomp::DcPolicy dc_policy = hyde::decomp::DcPolicy::kCliquePartition;
+  bool no_hyper = false;
+  bool has_group_choice = false;
+  hyde::core::GroupChoice group_choice = hyde::core::GroupChoice::kAuto;
+  bool ppi_hard_mu = false;
+  int max_group_size = 0;        ///< 0 = unset
+  int max_collapse_support = 0;  ///< 0 = unset
+  int passes = 0;                ///< 0 = unset
+  int cache_max_support = -1;    ///< -1 = unset
+  bool no_search_memo = false;
+  bool no_search_pruning = false;
+  bool no_class_signatures = false;
+  int class_signature_rows = 0;  ///< 0 = unset
+  bool has_node_limit = false;
+  std::size_t bdd_node_limit = 0;
+  bool has_tear_penalty = false;
+  double tear_penalty_scale = 1.0;
+
+  void apply(hyde::core::FlowOptions* o) const {
+    if (has_encoding) o->encoding = encoding;
+    if (has_dc_policy) o->dc_policy = dc_policy;
+    if (no_hyper) o->use_hyper = false;
+    if (has_group_choice) o->group_choice = group_choice;
+    if (ppi_hard_mu) o->ppi_hard_mu = true;
+    if (max_group_size > 0) o->max_group_size = max_group_size;
+    if (max_collapse_support > 0) {
+      o->max_collapse_support = max_collapse_support;
+    }
+    if (passes > 0) o->passes = passes;
+    if (cache_max_support >= 0) o->cache_max_support = cache_max_support;
+    if (no_search_memo) o->search_memo = false;
+    if (no_search_pruning) o->search_pruning = false;
+    if (no_class_signatures) o->class_signatures = false;
+    if (class_signature_rows > 0) {
+      o->class_signature_rows = class_signature_rows;
+    }
+    if (has_node_limit) o->bdd_node_limit = bdd_node_limit;
+    if (has_tear_penalty) o->tear_penalty_scale = tear_penalty_scale;
+  }
+};
+
 void print_profile(const hyde::core::FlowStats& stats, const char* indent) {
   std::printf(
       "%svarpart %.3fs (selects %llu, evaluated %llu, pruned %llu, "
@@ -159,7 +279,8 @@ int run_batch_mode(const std::string& system_name, int k, int workers,
                    std::uint64_t seed, bool verify, bool use_cache,
                    const std::string& json_path, const std::string& csv_path,
                    bool deterministic_json, bool profile, int search_threads,
-                   int encoder_threads, hyde::bdd::ReorderMode reorder,
+                   int encoder_threads, int cache_max_support,
+                   bool class_signatures, hyde::bdd::ReorderMode reorder,
                    double reorder_max_growth, bool manager_pool) {
   using namespace hyde;
   std::vector<baseline::System> systems;
@@ -173,8 +294,10 @@ int run_batch_mode(const std::string& system_name, int k, int workers,
   options.workers = workers;
   options.verify_vectors = verify ? 128 : 0;
   options.use_cache = use_cache;
+  options.cache_max_support = cache_max_support;
   options.search_threads = search_threads;
   options.encoder_threads = encoder_threads;
+  options.class_signatures = class_signatures;
   options.reorder = reorder;
   options.reorder_max_growth = reorder_max_growth;
   options.manager_pool = manager_pool;
@@ -266,6 +389,10 @@ int main(int argc, char** argv) {
   bdd::ReorderMode reorder = bdd::ReorderMode::kOff;
   double reorder_max_growth = 2.0;
   bool manager_pool = false;
+  FlowOverrides ov;
+  // First flow-shaping flag seen; batch mode rejects these (it runs the
+  // preset systems as published), so remember the name for the error.
+  std::string shape_flag;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "-k" && i + 1 < argc) {
@@ -375,6 +502,129 @@ int main(int argc, char** argv) {
         return 2;
       }
       window_threads = static_cast<int>(value);
+    } else if (arg == "--encoding" && i + 1 < argc) {
+      if (!parse_encoding(argv[++i], &ov.encoding)) {
+        std::fprintf(stderr,
+                     "error: --encoding expects random, classes or cubes, "
+                     "got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      ov.has_encoding = true;
+      if (shape_flag.empty()) shape_flag = arg;
+    } else if (arg == "--dc-policy" && i + 1 < argc) {
+      if (!parse_dc_policy(argv[++i], &ov.dc_policy)) {
+        std::fprintf(stderr,
+                     "error: --dc-policy expects columns or clique, "
+                     "got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      ov.has_dc_policy = true;
+      if (shape_flag.empty()) shape_flag = arg;
+    } else if (arg == "--no-hyper") {
+      ov.no_hyper = true;
+      if (shape_flag.empty()) shape_flag = arg;
+    } else if (arg == "--group-choice" && i + 1 < argc) {
+      if (!parse_group_choice(argv[++i], &ov.group_choice)) {
+        std::fprintf(stderr,
+                     "error: --group-choice expects auto, always or never, "
+                     "got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      ov.has_group_choice = true;
+      if (shape_flag.empty()) shape_flag = arg;
+    } else if (arg == "--ppi-hard-mu") {
+      ov.ppi_hard_mu = true;
+      if (shape_flag.empty()) shape_flag = arg;
+    } else if (arg == "--max-group-size" && i + 1 < argc) {
+      long value = 0;
+      if (!parse_long(argv[++i], &value) || value < 1 || value > 64) {
+        std::fprintf(stderr,
+                     "error: --max-group-size expects an integer in 1..64, "
+                     "got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      ov.max_group_size = static_cast<int>(value);
+      if (shape_flag.empty()) shape_flag = arg;
+    } else if (arg == "--collapse-support" && i + 1 < argc) {
+      long value = 0;
+      if (!parse_long(argv[++i], &value) || value < 1 || value > 64) {
+        std::fprintf(stderr,
+                     "error: --collapse-support expects an integer in 1..64, "
+                     "got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      ov.max_collapse_support = static_cast<int>(value);
+      if (shape_flag.empty()) shape_flag = arg;
+    } else if (arg == "--passes" && i + 1 < argc) {
+      long value = 0;
+      if (!parse_long(argv[++i], &value) || value < 1 || value > 16) {
+        std::fprintf(stderr,
+                     "error: --passes expects an integer in 1..16, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      ov.passes = static_cast<int>(value);
+      if (shape_flag.empty()) shape_flag = arg;
+    } else if (arg == "--cache-max-support" && i + 1 < argc) {
+      long value = 0;
+      if (!parse_long(argv[++i], &value) || value < 0 || value > 32) {
+        std::fprintf(stderr,
+                     "error: --cache-max-support expects an integer in "
+                     "0..32, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      ov.cache_max_support = static_cast<int>(value);
+    } else if (arg == "--no-search-memo") {
+      ov.no_search_memo = true;
+      if (shape_flag.empty()) shape_flag = arg;
+    } else if (arg == "--no-search-pruning") {
+      ov.no_search_pruning = true;
+      if (shape_flag.empty()) shape_flag = arg;
+    } else if (arg == "--no-class-signatures") {
+      ov.no_class_signatures = true;
+    } else if (arg == "--signature-rows" && i + 1 < argc) {
+      long value = 0;
+      if (!parse_long(argv[++i], &value) || value < 1 ||
+          value > (1L << 24)) {
+        std::fprintf(stderr,
+                     "error: --signature-rows expects an integer in "
+                     "1..16777216, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      ov.class_signature_rows = static_cast<int>(value);
+      if (shape_flag.empty()) shape_flag = arg;
+    } else if (arg == "--node-limit" && i + 1 < argc) {
+      long value = 0;
+      if (!parse_long(argv[++i], &value) || value < 0) {
+        std::fprintf(stderr,
+                     "error: --node-limit expects a non-negative integer "
+                     "(0 = unlimited), got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      ov.bdd_node_limit = static_cast<std::size_t>(value);
+      ov.has_node_limit = true;
+      if (shape_flag.empty()) shape_flag = arg;
+    } else if (arg == "--tear-penalty" && i + 1 < argc) {
+      double value = 0.0;
+      if (!parse_double(argv[++i], &value) || !(value >= 0.0) ||
+          !(value <= 1024.0)) {
+        std::fprintf(stderr,
+                     "error: --tear-penalty expects a number in [0, 1024], "
+                     "got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      ov.tear_penalty_scale = value;
+      ov.has_tear_penalty = true;
+      if (shape_flag.empty()) shape_flag = arg;
     } else if (arg == "--reorder" && i + 1 < argc) {
       const std::string mode_name = argv[++i];
       if (!parse_reorder_mode(mode_name, &reorder)) {
@@ -423,9 +673,19 @@ int main(int argc, char** argv) {
                    source.c_str());
       return 2;
     }
+    if (!shape_flag.empty()) {
+      std::fprintf(stderr,
+                   "error: %s shapes a single flow; --batch runs the preset "
+                   "systems as published (only --cache-max-support and "
+                   "--no-class-signatures carry over to batch options)\n",
+                   shape_flag.c_str());
+      return 2;
+    }
     return run_batch_mode(system_name, k, workers, seed, verify, use_cache,
                           json_path, csv_path, deterministic_json, profile,
-                          search_threads, encoder_threads, reorder,
+                          search_threads, encoder_threads,
+                          ov.cache_max_support >= 0 ? ov.cache_max_support : 7,
+                          !ov.no_class_signatures, reorder,
                           reorder_max_growth, manager_pool);
   }
 
@@ -471,6 +731,7 @@ int main(int argc, char** argv) {
     options.flow.encoder_threads = encoder_threads;
     options.flow.reorder = reorder;
     options.flow.reorder_max_growth = reorder_max_growth;
+    ov.apply(&options.flow);
     // One warmed pool shared by all window workers; it must outlive the run,
     // so it lives in this scope rather than inside the windowed engine.
     bdd::ManagerPool window_pool;
@@ -559,7 +820,9 @@ int main(int argc, char** argv) {
     // For DC-aware runs use the core flow directly (baseline::run_system
     // does not thread external don't cares).
     if (has_dc && system == baseline::System::kHyde) {
-      auto flow = core::run_flow(input, core::hyde_options(k), &dc);
+      core::FlowOptions dc_flow_options = core::hyde_options(k);
+      ov.apply(&dc_flow_options);
+      auto flow = core::run_flow(input, dc_flow_options, &dc);
       mapper::dedup_shared_nodes(flow.network);
       mapper::collapse_into_fanouts(flow.network, k);
       const int luts = mapper::lut_count(flow.network);
@@ -572,13 +835,15 @@ int main(int argc, char** argv) {
       }
       continue;
     }
+    core::FlowOptions flow_options = baseline::system_flow_options(system, k);
+    flow_options.search_threads = search_threads;
+    flow_options.encoder_threads = encoder_threads;
+    flow_options.reorder = reorder;
+    flow_options.reorder_max_growth = reorder_max_growth;
+    flow_options.manager_pool = manager_pool ? &single_run_pool : nullptr;
+    ov.apply(&flow_options);
     auto result =
-        baseline::run_system(input, system, k, verify ? 256 : 0, /*seed=*/1,
-                             /*cache=*/nullptr, /*cache_max_support=*/7,
-                             search_threads, encoder_threads,
-                             /*class_signatures=*/true, reorder,
-                             reorder_max_growth,
-                             manager_pool ? &single_run_pool : nullptr);
+        baseline::run_system(input, system, flow_options, verify ? 256 : 0);
     std::printf("%-10s %5d LUTs", name.c_str(), result.luts);
     if (k == 5) std::printf("  %5d CLBs", result.clbs);
     std::printf("  depth %2d  %.3fs  %s\n", result.depth, result.seconds,

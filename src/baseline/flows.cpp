@@ -55,7 +55,13 @@ BaselineResult run_system(const net::Network& input, System system, int k,
   options.reorder = reorder;
   options.reorder_max_growth = reorder_max_growth;
   options.manager_pool = manager_pool;
+  return run_system(input, system, options, verify_vectors);
+}
 
+BaselineResult run_system(const net::Network& input, System system,
+                          const core::FlowOptions& options,
+                          int verify_vectors) {
+  const int k = options.k;
   const auto start = std::chrono::steady_clock::now();
   core::FlowResult flow = core::run_flow(input, options);
   const auto map_start = std::chrono::steady_clock::now();
@@ -85,7 +91,7 @@ BaselineResult run_system(const net::Network& input, System system, int k,
   } else {
     net::EquivalenceOptions eq_options;
     eq_options.random_vectors = verify_vectors;
-    eq_options.seed = seed * 7919 + 17;
+    eq_options.seed = options.seed * 7919 + 17;
     result.verified =
         net::check_equivalence(input, flow.network, eq_options).equivalent;
   }

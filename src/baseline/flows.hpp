@@ -68,6 +68,14 @@ BaselineResult run_system(const net::Network& input, System system, int k,
                           double reorder_max_growth = 2.0,
                           bdd::ManagerPool* manager_pool = nullptr);
 
+/// Fully-explicit variant: runs \p system's mapping pipeline (including the
+/// resubstitution pass for kSawadaResubLike) over an arbitrary FlowOptions.
+/// Callers typically start from system_flow_options(system, k) and override
+/// individual knobs; the convenience overload above delegates here.
+BaselineResult run_system(const net::Network& input, System system,
+                          const core::FlowOptions& options,
+                          int verify_vectors = 256);
+
 /// Windowed variant of run_system for networks too large to decompose whole:
 /// runs part::run_windowed_flow under \p options (callers typically seed
 /// options.flow from system_flow_options), then the global mapper cleanup —

@@ -66,6 +66,8 @@ Bdd& Bdd::operator=(const Bdd& other) {
   return *this;
 }
 
+// NOLINTNEXTLINE(bugprone-exception-escape): dec_ref throws only on refcount
+// underflow, i.e. a corrupted table; terminating beats unwinding over it.
 Bdd& Bdd::operator=(Bdd&& other) noexcept {
   if (this == &other) return *this;
   if (mgr_ != nullptr) mgr_->dec_ref(id_);
@@ -80,6 +82,8 @@ Bdd& Bdd::operator=(Bdd&& other) noexcept {
   return *this;
 }
 
+// NOLINTNEXTLINE(bugprone-exception-escape): same contract as move-assign —
+// an underflow throw out of a destructor should terminate, not unwind.
 Bdd::~Bdd() {
   if (mgr_ != nullptr) mgr_->dec_ref(id_);
 }
@@ -831,8 +835,16 @@ Bdd Manager::compose(const Bdd& f, int var, const Bdd& g) {
 Bdd Manager::vector_compose(
     const Bdd& f, const std::unordered_map<int, Bdd, std::hash<int>>& map) {
   check_owned(f);
-  for (const auto& [var, g] : map) {
-    check_owned(g);
+  // Visit substitutions in sorted-variable order: unordered_map visit order
+  // is hash-seed- and history-dependent, and which of several bad entries
+  // gets rejected first must not depend on it.
+  std::vector<int> vars;
+  vars.reserve(map.size());
+  // hyde-unordered-ok: key collection only; sorted before any use.
+  for (const auto& [var, g] : map) vars.push_back(var);
+  std::sort(vars.begin(), vars.end());
+  for (const int var : vars) {
+    check_owned(map.at(var));
     if (var < 0 || var >= num_vars_) {
       throw std::invalid_argument(
           "Manager::vector_compose: variable index out of range");
@@ -840,7 +852,9 @@ Bdd Manager::vector_compose(
   }
   maybe_gc();
   std::vector<std::int64_t> raw(num_vars_, -1);
-  for (const auto& [var, g] : map) raw[static_cast<std::size_t>(var)] = g.id_;
+  for (const int var : vars) {
+    raw[static_cast<std::size_t>(var)] = map.at(var).id_;
+  }
   return make_external(compose_rec(f.id_, raw, compose_context(raw)));
 }
 

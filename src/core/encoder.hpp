@@ -54,6 +54,7 @@ struct EncoderOptions {
   decomp::BoundSetSearch* search = nullptr;
   /// Engine knobs for every compatible-class computation the encoder runs
   /// (the Step-8 image-class counts). Result-neutral.
+  // hyde-knob-ok: composite the flow fills from CLI-reachable FlowOptions.
   decomp::ClassComputeOptions class_options;
   /// Worker threads for the snapshot-parallel Step 4 (per-class Π
   /// computation) and Step 8 (random-vs-structured image-class counts).
@@ -62,6 +63,7 @@ struct EncoderOptions {
   /// code on any worker failure.
   int threads = 1;
   /// Optional volatile counter: encoder tasks dispatched to worker threads.
+  // hyde-knob-ok: counter sink; totals surface via FlowStats, not a flag.
   std::uint64_t* parallel_tasks = nullptr;
 };
 

@@ -29,7 +29,7 @@ class GateBuilder {
   NodeId build(const bdd::Bdd& f) {
     if (f.is_zero()) return constant(false);
     if (f.is_one()) return constant(true);
-    if (const auto it = memo_.find(f.id()); it != memo_.end()) return it->second;
+    if (const auto it = memo_.find(f); it != memo_.end()) return it->second;
     const NodeId s = signal_of_pin_[static_cast<std::size_t>(f.top_var())];
     const bdd::Bdd lo = f.low();
     const bdd::Bdd hi = f.high();
@@ -47,7 +47,7 @@ class GateBuilder {
       const NodeId b = gate(s, build(lo), Gate::kAndNotA);
       result = gate(a, b, Gate::kOr);
     }
-    memo_.emplace(f.id(), result);
+    memo_.emplace(f, result);
     return result;
   }
 
@@ -77,7 +77,10 @@ class GateBuilder {
 
   Network& out_;
   const std::vector<NodeId>& signal_of_pin_;
-  std::unordered_map<std::uint32_t, NodeId> memo_;
+  // Keyed on the handle, not the raw id: the entry then pins its node, so
+  // a GC between build() calls cannot free (and a later make_node reuse
+  // cannot alias) a memoized key.
+  std::unordered_map<bdd::Bdd, NodeId, bdd::BddHash> memo_;
   NodeId const0_ = net::kNoNode;
   NodeId const1_ = net::kNoNode;
 };

@@ -261,6 +261,7 @@ std::vector<Window> extract_windows(const net::Network& network,
   return windows;
 }
 
+// NOLINTNEXTLINE(bugprone-easily-swappable-parameters): see window.hpp.
 Window make_window(const net::Network& host, std::vector<net::NodeId> members,
                    int index, int k) {
   Window w;

@@ -78,6 +78,8 @@ std::vector<Window> extract_windows(const net::Network& network,
 /// window that blew its resynthesis budget). \p members must be a subset of
 /// live logic nodes in topological order; inputs and roots are derived
 /// against the host network with "outside" meaning "not in \p members".
+// NOLINTNEXTLINE(bugprone-easily-swappable-parameters): index labels the
+// piece, k is the LUT size; both come straight from the split site's locals.
 Window make_window(const net::Network& host, std::vector<net::NodeId> members,
                    int index, int k);
 

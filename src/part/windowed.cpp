@@ -76,7 +76,7 @@ WindowOutcome resynthesize_window(const net::Network& host, Window window,
     return outcome;
   }
 
-  const net::Network sub = [&] {
+  const net::Network sub = [&] {  // hyde-locked(host_mutex)
     std::unique_lock<std::mutex> lock;
     if (host_mutex != nullptr) lock = std::unique_lock<std::mutex>(*host_mutex);
     return window_subnetwork(host, window);

@@ -1,0 +1,24 @@
+// Fixture: raw node ids outliving the handles that pin them.
+#include "bdd/bdd.hpp"
+
+long MemoTable::lookup(const bdd::Bdd& f) {
+  auto it = memo_.find(f.id());
+  if (it != memo_.end()) return it->second;
+  return memo_[f.id()];
+}
+
+long id_of_temporary(bdd::Manager& mgr) {
+  return mgr.bdd_and(mgr.var(0), mgr.var(1)).id();
+}
+
+long stale_after_kernel(bdd::Manager& mgr, const bdd::Bdd& f,
+                        const bdd::Bdd& g) {
+  const long raw = f.id();
+  const bdd::Bdd h = mgr.bdd_and(f, g);
+  return raw + h.id();
+}
+
+bdd::Bdd cross_manager(bdd::Manager& a, bdd::Manager& b) {
+  bdd::Bdd fa = a.var(0);
+  return b.bdd_not(fa);
+}

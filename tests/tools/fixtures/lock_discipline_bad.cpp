@@ -1,0 +1,24 @@
+// Fixture: host reads outside the declared locked region, a region
+// declared for a different mutex, and a dangling marker.
+#include <mutex>
+
+int count_nodes(const Network& host, std::mutex& host_mutex) {
+  int n = 0;
+  {  // hyde-locked(host_mutex)
+    n += host.node_count();
+  }
+  n += host.edge_count();
+  return n;
+}
+
+int sum_wrong_mutex(const Network& host, std::mutex& host_mutex,
+                    std::mutex& stats_mutex) {
+  int n = 0;
+  {  // hyde-locked(stats_mutex)
+    n += host.node_count();
+  }
+  return n;
+}
+
+// hyde-locked(host_mutex)
+int declaration_only(const Network& host, std::mutex& host_mutex);

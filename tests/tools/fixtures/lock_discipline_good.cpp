@@ -1,0 +1,14 @@
+// Fixture: locked-region reads, mutex-forwarding delegation and a
+// line-level waiver are all within the contract.
+#include <mutex>
+
+int count_nodes(const Network& host, std::mutex& host_mutex) {
+  int n = 0;
+  {  // hyde-locked(host_mutex)
+    n += host.node_count();
+    n += host.edge_count();
+  }
+  n += recurse(host, host_mutex);
+  n += host.cheap_atomic_size();  // hyde-locked: size() is atomic
+  return n;
+}

@@ -1,0 +1,12 @@
+// Fixture: iteration order over an unordered container leaks into the
+// result.
+#include <string>
+#include <unordered_map>
+
+std::string join(const std::unordered_map<std::string, int>& parts) {
+  std::string out;
+  for (const auto& [name, value] : parts) {
+    out += name + ":" + std::to_string(value) + ",";
+  }
+  return out;
+}

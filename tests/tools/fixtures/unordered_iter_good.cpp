@@ -1,0 +1,17 @@
+// Fixture: commutative folds annotated order-free, and sorted iteration.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+int total(const std::unordered_map<std::string, int>& weights) {
+  int sum = 0;
+  // hyde-unordered-ok: addition is commutative; the sum is order-free.
+  for (const auto& [name, value] : weights) {
+    sum += value;
+  }
+  std::map<std::string, int> sorted(weights.begin(), weights.end());
+  for (const auto& [name, value] : sorted) {
+    sum -= value;
+  }
+  return sum;
+}

@@ -1,9 +1,16 @@
 /// \file hyde_lint_main.cpp
 /// \brief CLI driver for hyde_lint (see tools/lint/lint.hpp for the rules).
 ///
-/// Usage: hyde_lint [--allow FILE] [--fix-hints] [--quiet] PATH...
+/// Usage: hyde_lint [--allow FILE] [--fix-hints] [--quiet] [--sarif FILE]
+///                  [--prune-hints] PATH...
 ///
-/// Each PATH is a file or a directory (recursed for .cpp/.hpp/.h/.cc).
+/// Each PATH is a file or a directory (recursed for .cpp/.hpp/.h/.cc). All
+/// paths are linted as one project, so the cross-file rules (dead-knob,
+/// include cycles, stale-allowlist pruning) see the union of everything
+/// scanned. `--sarif FILE` additionally writes the findings as a SARIF
+/// 2.1.0 document (written even when clean, so CI can upload it
+/// unconditionally). `--prune-hints` reports allowlist entries that match
+/// no scanned file or suppressed nothing.
 /// Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
 
 #include <algorithm>
@@ -15,6 +22,8 @@
 #include <vector>
 
 #include "lint/lint.hpp"
+#include "lint/project.hpp"
+#include "lint/sarif.hpp"
 
 namespace {
 
@@ -39,7 +48,9 @@ bool read_file(const std::string& path, std::string* out) {
 int main(int argc, char** argv) {
   hyde::lint::Options options;
   bool quiet = false;
+  bool prune_hints = false;
   std::string allow_path;
+  std::string sarif_path;
   std::vector<std::string> roots;
 
   for (int i = 1; i < argc; ++i) {
@@ -48,6 +59,8 @@ int main(int argc, char** argv) {
       options.fix_hints = true;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--prune-hints") {
+      prune_hints = true;
     } else if (arg == "--allow") {
       if (i + 1 >= argc) {
         std::cerr << "hyde_lint: --allow requires a file argument\n";
@@ -56,9 +69,17 @@ int main(int argc, char** argv) {
       allow_path = argv[++i];
     } else if (arg.rfind("--allow=", 0) == 0) {
       allow_path = arg.substr(8);
+    } else if (arg == "--sarif") {
+      if (i + 1 >= argc) {
+        std::cerr << "hyde_lint: --sarif requires a file argument\n";
+        return 2;
+      }
+      sarif_path = argv[++i];
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      sarif_path = arg.substr(8);
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: hyde_lint [--allow FILE] [--fix-hints] [--quiet] "
-                   "PATH...\n";
+                   "[--sarif FILE] [--prune-hints] PATH...\n";
       return 0;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "hyde_lint: unknown option " << arg << "\n";
@@ -81,41 +102,55 @@ int main(int argc, char** argv) {
     options.allow = hyde::lint::parse_allowlist(text);
   }
 
-  std::vector<std::string> files;
+  std::vector<std::string> paths;
   for (const std::string& root : roots) {
     std::error_code ec;
     if (fs::is_directory(root, ec)) {
       for (const auto& entry : fs::recursive_directory_iterator(root, ec)) {
         if (entry.is_regular_file() && lintable(entry.path())) {
-          files.push_back(entry.path().generic_string());
+          paths.push_back(entry.path().generic_string());
         }
       }
     } else if (fs::is_regular_file(root, ec)) {
-      files.push_back(fs::path(root).generic_string());
+      paths.push_back(fs::path(root).generic_string());
     } else {
       std::cerr << "hyde_lint: no such file or directory: " << root << "\n";
       return 2;
     }
   }
-  std::sort(files.begin(), files.end());
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
 
-  std::size_t total = 0;
-  for (const std::string& file : files) {
-    std::string content;
-    if (!read_file(file, &content)) {
-      std::cerr << "hyde_lint: cannot read " << file << "\n";
+  std::vector<hyde::lint::ProjectFile> files;
+  files.reserve(paths.size());
+  for (const std::string& path : paths) {
+    hyde::lint::ProjectFile f;
+    f.path = path;
+    if (!read_file(path, &f.content)) {
+      std::cerr << "hyde_lint: cannot read " << path << "\n";
       return 2;
     }
-    const auto diags = hyde::lint::lint_content(file, content, options);
-    total += diags.size();
-    for (const auto& d : diags) {
-      std::cout << hyde::lint::format_diagnostic(d, options.fix_hints) << "\n";
+    files.push_back(std::move(f));
+  }
+
+  const std::vector<hyde::lint::Diagnostic> diags =
+      hyde::lint::lint_project(files, options, allow_path, prune_hints);
+  for (const auto& d : diags) {
+    std::cout << hyde::lint::format_diagnostic(d, options.fix_hints) << "\n";
+  }
+
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "hyde_lint: cannot write " << sarif_path << "\n";
+      return 2;
     }
+    out << hyde::lint::to_sarif(diags);
   }
 
   if (!quiet) {
-    std::cerr << "hyde_lint: " << files.size() << " files, " << total
-              << " violation" << (total == 1 ? "" : "s") << "\n";
+    std::cerr << "hyde_lint: " << files.size() << " files, " << diags.size()
+              << " violation" << (diags.size() == 1 ? "" : "s") << "\n";
   }
-  return total == 0 ? 0 : 1;
+  return diags.empty() ? 0 : 1;
 }

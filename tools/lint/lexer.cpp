@@ -1,0 +1,435 @@
+#include "lint/lexer.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace hyde::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+std::vector<std::string> split_lines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (const char c : content) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else if (c != '\r') {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) lines.push_back(current);
+  return lines;
+}
+
+/// Raw-string prefixes: the literal starts at `R"` possibly preceded by an
+/// encoding prefix.
+bool raw_string_prefix(const std::string& ident) {
+  return ident == "R" || ident == "u8R" || ident == "uR" || ident == "UR" ||
+         ident == "LR";
+}
+
+/// Multi-character punctuators, longest first (three then two characters).
+/// `>>` is deliberately split into two `>` tokens so template-argument
+/// nesting can be tracked with plain depth counting; no rule needs the
+/// shift operator as one token.
+const char* const kPunct3[] = {"<<=", "->*", "..."};
+const char* const kPunct2[] = {"::", "->", "<<", "<=", ">=", "==", "!=",
+                               "&&", "||", "+=", "-=", "*=", "/=", "%=",
+                               "^=", "&=", "|=", "++", "--"};
+
+/// One frame of the preprocessor-conditional stack.
+enum class CondState {
+  kActiveUnknown,    ///< condition not a literal: lint every branch
+  kTakenLiteral,     ///< `#if 1`/`#if true`: else/elif branches are dead
+  kInactiveLiteral,  ///< `#if 0`/`#if false`: dead until #else/#endif
+};
+
+struct Lexer {
+  explicit Lexer(const std::string& content) {
+    out.raw_lines = split_lines(content);
+    out.code_lines.reserve(out.raw_lines.size());
+    for (const std::string& line : out.raw_lines) {
+      out.code_lines.emplace_back(line.size(), ' ');
+    }
+    run();
+  }
+
+  LexedFile out;
+
+ private:
+  // Cross-line states.
+  bool in_block_comment = false;
+  bool in_line_comment = false;  ///< a `// ... \` continuation
+  bool in_string = false;
+  bool in_raw_string = false;
+  std::string raw_delim;  ///< the `)delim"` terminator when in_raw_string
+  bool in_directive = false;  ///< a `#... \` continuation (macro body)
+  std::vector<CondState> cond_stack;
+
+  std::size_t li = 0;  ///< current physical line (0-based)
+
+  int line_no() const { return static_cast<int>(li) + 1; }
+
+  bool inactive() const {
+    return std::any_of(cond_stack.begin(), cond_stack.end(),
+                       [](CondState s) {
+                         return s == CondState::kInactiveLiteral;
+                       });
+  }
+
+  void add_token(Token::Kind kind, std::string text, int line) {
+    out.tokens.push_back(Token{kind, std::move(text), line});
+  }
+
+  void add_comment(int line, std::string text) {
+    out.comments.push_back(CommentSpan{line, std::move(text)});
+  }
+
+  static bool ends_with_backslash(const std::string& line) {
+    return !line.empty() && line.back() == '\\';
+  }
+
+  /// Strips leading whitespace; returns npos when the line is blank.
+  static std::size_t first_nonspace(const std::string& line) {
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (line[i] != ' ' && line[i] != '\t') return i;
+    }
+    return std::string::npos;
+  }
+
+  void run() {
+    for (li = 0; li < out.raw_lines.size(); ++li) {
+      lex_line();
+    }
+  }
+
+  void lex_line() {
+    const std::string& raw = out.raw_lines[li];
+    std::string& code = out.code_lines[li];
+    std::size_t i = 0;
+
+    if (in_line_comment) {
+      add_comment(line_no(), raw);
+      in_line_comment = ends_with_backslash(raw);
+      return;
+    }
+    if (in_raw_string) {
+      const std::size_t end = raw.find(raw_delim);
+      if (end == std::string::npos) return;  // whole line is literal body
+      in_raw_string = false;
+      i = end + raw_delim.size();
+      if (i > 0) code[i - 1] = '"';
+    } else if (in_block_comment) {
+      const std::size_t end = raw.find("*/");
+      if (end == std::string::npos) {
+        add_comment(line_no(), raw);
+        return;
+      }
+      add_comment(line_no(), raw.substr(0, end));
+      in_block_comment = false;
+      i = end + 2;
+    } else if (in_string) {
+      i = continue_string(0);
+      if (in_string) return;
+    }
+
+    // Preprocessor handling: a `#` as the first non-blank character starts a
+    // directive unless this line continues a previous directive's backslash
+    // splice. Directives are lexed as ordinary code below (so `#pragma once`
+    // and `#include <...>` survive in the code view); this block only
+    // maintains the conditional stack, records includes, and blanks
+    // `#if 0` regions.
+    const bool directive_continuation = in_directive;
+    in_directive = false;
+    if (!directive_continuation) {
+      const std::size_t ns = first_nonspace(raw);
+      if (ns != std::string::npos && ns >= i && raw[ns] == '#') {
+        handle_directive(raw, ns);
+      }
+    }
+    if (inactive()) {
+      // Everything in a dead region is blanked and untokenized. The
+      // directive itself (e.g. the `#if 0` line, nested conditionals) is
+      // handled above; its text is also blanked, which no rule minds.
+      if (directive_continuation || ends_with_backslash(raw)) {
+        in_directive = ends_with_backslash(raw);
+      }
+      return;
+    }
+    if (directive_continuation || starts_directive(raw, i)) {
+      in_directive = ends_with_backslash(raw);
+    }
+
+    lex_code(i);
+  }
+
+  bool starts_directive(const std::string& raw, std::size_t from) const {
+    const std::size_t ns = first_nonspace(raw);
+    return ns != std::string::npos && ns >= from && raw[ns] == '#';
+  }
+
+  /// Parses a directive's name and updates conditional/include state.
+  void handle_directive(const std::string& raw, std::size_t hash) {
+    std::size_t i = hash + 1;
+    while (i < raw.size() && (raw[i] == ' ' || raw[i] == '\t')) ++i;
+    std::string name;
+    while (i < raw.size() && ident_char(raw[i])) name.push_back(raw[i++]);
+    while (i < raw.size() && (raw[i] == ' ' || raw[i] == '\t')) ++i;
+    std::string rest = raw.substr(i);
+    const std::size_t comment = rest.find("//");
+    if (comment != std::string::npos) rest.resize(comment);
+    const std::size_t block = rest.find("/*");
+    if (block != std::string::npos) rest.resize(block);
+    while (!rest.empty() && (rest.back() == ' ' || rest.back() == '\t')) {
+      rest.pop_back();
+    }
+
+    if (name == "if") {
+      if (inactive()) {
+        cond_stack.push_back(CondState::kActiveUnknown);  // nested, all dead
+      } else if (rest == "0" || rest == "false") {
+        cond_stack.push_back(CondState::kInactiveLiteral);
+      } else if (rest == "1" || rest == "true") {
+        cond_stack.push_back(CondState::kTakenLiteral);
+      } else {
+        cond_stack.push_back(CondState::kActiveUnknown);
+      }
+    } else if (name == "ifdef" || name == "ifndef") {
+      cond_stack.push_back(CondState::kActiveUnknown);
+    } else if (name == "elif") {
+      if (!cond_stack.empty()) {
+        if (cond_stack.back() == CondState::kInactiveLiteral) {
+          cond_stack.back() = (rest == "0" || rest == "false")
+                                  ? CondState::kInactiveLiteral
+                                  : CondState::kActiveUnknown;
+        } else if (cond_stack.back() == CondState::kTakenLiteral) {
+          cond_stack.back() = CondState::kInactiveLiteral;
+        }
+      }
+    } else if (name == "else") {
+      if (!cond_stack.empty()) {
+        if (cond_stack.back() == CondState::kInactiveLiteral) {
+          cond_stack.back() = CondState::kActiveUnknown;
+        } else if (cond_stack.back() == CondState::kTakenLiteral) {
+          cond_stack.back() = CondState::kInactiveLiteral;
+        }
+      }
+    } else if (name == "endif") {
+      if (!cond_stack.empty()) cond_stack.pop_back();
+    } else if (name == "include" && !inactive()) {
+      if (!rest.empty() && (rest[0] == '"' || rest[0] == '<')) {
+        const char close = rest[0] == '"' ? '"' : '>';
+        const std::size_t end = rest.find(close, 1);
+        if (end != std::string::npos) {
+          out.includes.push_back(IncludeDirective{
+              line_no(), rest.substr(1, end - 1), rest[0] == '<'});
+        }
+      }
+    }
+  }
+
+  /// Continues an ordinary string literal from column \p from. Returns the
+  /// column after the closing quote; sets in_string when the literal (via a
+  /// trailing backslash) continues onto the next line.
+  std::size_t continue_string(std::size_t from) {
+    const std::string& raw = out.raw_lines[li];
+    std::string& code = out.code_lines[li];
+    std::size_t i = from;
+    while (i < raw.size()) {
+      if (raw[i] == '\\') {
+        if (i + 1 >= raw.size()) {  // line splice inside the literal
+          in_string = true;
+          return raw.size();
+        }
+        i += 2;
+        continue;
+      }
+      if (raw[i] == '"') {
+        code[i] = '"';
+        in_string = false;
+        return i + 1;
+      }
+      ++i;
+    }
+    // Unterminated: degrade to end-of-line (matches the old checker).
+    in_string = false;
+    return raw.size();
+  }
+
+  /// Lexes the code portion of the current line starting at column \p i.
+  void lex_code(std::size_t i) {
+    const std::string& raw = out.raw_lines[li];
+    std::string& code = out.code_lines[li];
+    while (i < raw.size()) {
+      const char c = raw[i];
+      const char next = i + 1 < raw.size() ? raw[i + 1] : '\0';
+
+      if (c == ' ' || c == '\t') {
+        ++i;
+        continue;
+      }
+      if (c == '/' && next == '/') {
+        add_comment(line_no(), raw.substr(i + 2));
+        in_line_comment = ends_with_backslash(raw);
+        return;
+      }
+      if (c == '/' && next == '*') {
+        const std::size_t end = raw.find("*/", i + 2);
+        if (end == std::string::npos) {
+          add_comment(line_no(), raw.substr(i + 2));
+          in_block_comment = true;
+          return;
+        }
+        add_comment(line_no(), raw.substr(i + 2, end - i - 2));
+        i = end + 2;
+        continue;
+      }
+      if (c == '\\' && i + 1 == raw.size()) {
+        // Bare line splice in code: nothing to record, the next physical
+        // line simply continues the logical line.
+        return;
+      }
+      if (c == '"') {
+        code[i] = '"';
+        add_token(Token::Kind::kString, "\"\"", line_no());
+        i = continue_string(i + 1);
+        if (in_string) return;
+        continue;
+      }
+      if (c == '\'') {
+        // A quote directly after an alphanumeric character is a digit
+        // separator (1'000'000), handled by the number scanner; reaching
+        // here after one means malformed input — treat as punctuation.
+        const bool separator =
+            i > 0 && std::isalnum(static_cast<unsigned char>(raw[i - 1])) != 0;
+        if (separator) {
+          code[i] = c;
+          ++i;
+          continue;
+        }
+        code[i] = '\'';
+        std::size_t j = i + 1;
+        while (j < raw.size()) {
+          if (raw[j] == '\\') {
+            j += 2;
+            continue;
+          }
+          if (raw[j] == '\'') break;
+          ++j;
+        }
+        if (j < raw.size()) code[j] = '\'';
+        add_token(Token::Kind::kChar, "''", line_no());
+        i = j + 1;
+        continue;
+      }
+      if (ident_start(c)) {
+        std::size_t j = i;
+        while (j < raw.size() && ident_char(raw[j])) ++j;
+        const std::string ident = raw.substr(i, j - i);
+        if (j < raw.size() && raw[j] == '"' && raw_string_prefix(ident)) {
+          i = start_raw_string(j);
+          if (in_raw_string) return;
+          continue;
+        }
+        for (std::size_t k = i; k < j; ++k) code[k] = raw[k];
+        add_token(Token::Kind::kIdentifier, ident, line_no());
+        i = j;
+        continue;
+      }
+      if (is_digit(c) || (c == '.' && is_digit(next))) {
+        std::size_t j = i;
+        while (j < raw.size()) {
+          const char d = raw[j];
+          if (ident_char(d) || d == '.' || d == '\'') {
+            ++j;
+            continue;
+          }
+          if ((d == '+' || d == '-') && j > i) {
+            const char prev = raw[j - 1];
+            if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+              ++j;
+              continue;
+            }
+          }
+          break;
+        }
+        for (std::size_t k = i; k < j; ++k) code[k] = raw[k];
+        add_token(Token::Kind::kNumber, raw.substr(i, j - i), line_no());
+        i = j;
+        continue;
+      }
+      // Punctuator: longest known multi-character form first.
+      std::size_t len = 1;
+      for (const char* p : kPunct3) {
+        if (raw.compare(i, 3, p) == 0) {
+          len = 3;
+          break;
+        }
+      }
+      if (len == 1) {
+        for (const char* p : kPunct2) {
+          if (raw.compare(i, 2, p) == 0) {
+            len = 2;
+            break;
+          }
+        }
+      }
+      for (std::size_t k = i; k < i + len && k < raw.size(); ++k) {
+        code[k] = raw[k];
+      }
+      add_token(Token::Kind::kPunct, raw.substr(i, len), line_no());
+      i += len;
+    }
+  }
+
+  /// Starts a raw string literal whose opening quote is at column \p quote.
+  /// Returns the column after the literal when it closes on this line.
+  std::size_t start_raw_string(std::size_t quote) {
+    const std::string& raw = out.raw_lines[li];
+    std::string& code = out.code_lines[li];
+    code[quote] = '"';
+    std::size_t j = quote + 1;
+    std::string delim;
+    while (j < raw.size() && raw[j] != '(' && delim.size() < 16) {
+      delim.push_back(raw[j++]);
+    }
+    add_token(Token::Kind::kString, "\"\"", line_no());
+    raw_delim = ")" + delim + "\"";
+    const std::size_t end = raw.find(raw_delim, j);
+    if (end == std::string::npos) {
+      in_raw_string = true;
+      return raw.size();
+    }
+    const std::size_t after = end + raw_delim.size();
+    code[after - 1] = '"';
+    in_raw_string = false;
+    return after;
+  }
+};
+
+}  // namespace
+
+bool LexedFile::comment_on_line_contains(int line,
+                                         const std::string& marker) const {
+  for (const CommentSpan& c : comments) {
+    if (c.line == line && c.text.find(marker) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+LexedFile lex_file(const std::string& content) { return Lexer(content).out; }
+
+}  // namespace hyde::lint

@@ -1,8 +1,11 @@
 #include "lint/lint.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <regex>
 #include <sstream>
+
+#include "lint/scopes.hpp"
 
 namespace hyde::lint {
 
@@ -15,91 +18,6 @@ bool path_contains(const std::string& path, const std::string& fragment) {
 bool is_header(const std::string& path) {
   return path.size() >= 4 && (path.rfind(".hpp") == path.size() - 4 ||
                               path.rfind(".h") == path.size() - 2);
-}
-
-/// Splits content into lines (keeps empty trailing lines out).
-std::vector<std::string> split_lines(const std::string& content) {
-  std::vector<std::string> lines;
-  std::string current;
-  for (const char c : content) {
-    if (c == '\n') {
-      lines.push_back(current);
-      current.clear();
-    } else if (c != '\r') {
-      current.push_back(c);
-    }
-  }
-  if (!current.empty()) lines.push_back(current);
-  return lines;
-}
-
-/// Blanks comments and string/char literal contents so token rules cannot
-/// fire inside them. Raw string literals are treated like ordinary strings
-/// (good enough for this codebase; documented limitation).
-std::vector<std::string> strip_to_code(const std::vector<std::string>& lines) {
-  std::vector<std::string> code;
-  code.reserve(lines.size());
-  bool in_block_comment = false;
-  for (const std::string& line : lines) {
-    std::string out(line.size(), ' ');
-    bool in_string = false;
-    bool in_char = false;
-    for (std::size_t i = 0; i < line.size(); ++i) {
-      const char c = line[i];
-      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
-      if (in_block_comment) {
-        if (c == '*' && next == '/') {
-          in_block_comment = false;
-          ++i;
-        }
-        continue;
-      }
-      if (in_string) {
-        if (c == '\\') {
-          ++i;
-        } else if (c == '"') {
-          in_string = false;
-          out[i] = '"';
-        }
-        continue;
-      }
-      if (in_char) {
-        if (c == '\\') {
-          ++i;
-        } else if (c == '\'') {
-          in_char = false;
-          out[i] = '\'';
-        }
-        continue;
-      }
-      if (c == '/' && next == '/') break;  // rest is a line comment
-      if (c == '/' && next == '*') {
-        in_block_comment = true;
-        ++i;
-        continue;
-      }
-      if (c == '"') {
-        in_string = true;
-        out[i] = '"';
-        continue;
-      }
-      if (c == '\'') {
-        // Distinguish digit separators (1'000'000) from char literals: a
-        // quote directly after an alphanumeric character is a separator.
-        if (i > 0 && (std::isalnum(static_cast<unsigned char>(line[i - 1])) !=
-                      0)) {
-          out[i] = line[i];
-          continue;
-        }
-        in_char = true;
-        out[i] = '\'';
-        continue;
-      }
-      out[i] = c;
-    }
-    code.push_back(out);
-  }
-  return code;
 }
 
 struct TokenRule {
@@ -173,18 +91,463 @@ const std::regex& raw_level_pattern() {
   return pattern;
 }
 
+// ---------------------------------------------------------------------------
+// Token helpers for the semantic rule families.
+
+bool punct(const Token& t, const char* text) {
+  return t.kind == Token::Kind::kPunct && t.text == text;
+}
+
+bool ident(const Token& t) { return t.kind == Token::Kind::kIdentifier; }
+
+bool ident(const Token& t, const char* text) {
+  return t.kind == Token::Kind::kIdentifier && t.text == text;
+}
+
+bool member_access(const Token& t) {
+  return punct(t, ".") || punct(t, "->");
+}
+
+bool any_of_names(const std::string& name, const char* const* names,
+                  std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (name == names[i]) return true;
+  }
+  return false;
+}
+
+/// Index of the token matching the opener at `open` ('(' / '['), or
+/// tokens.size() when unbalanced.
+std::size_t match_forward(const std::vector<Token>& tokens, std::size_t open,
+                          const char* open_text, const char* close_text) {
+  int depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    if (punct(tokens[i], open_text)) ++depth;
+    if (punct(tokens[i], close_text)) {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return tokens.size();
+}
+
+/// Manager kernel entry points: every one of them runs `maybe_gc()`, which
+/// in auto-reorder mode runs `reorder_sift()` — so any of these calls can
+/// remap or free raw node ids.
+bool gc_capable_call(const std::string& name) {
+  static const char* const kCalls[] = {
+      "ite",         "cofactor",      "cofactor_cube", "exists",
+      "forall",      "compose",       "vector_compose", "permute",
+      "bdd_and",     "bdd_or",        "bdd_xor",        "bdd_not",
+      "from_truth_table", "transfer", "collect_garbage", "maybe_gc",
+      "reorder_sift"};
+  return any_of_names(name, kCalls, std::size(kCalls));
+}
+
+/// Manager methods that take Bdd-handle arguments (cross-manager checks).
+bool handle_kernel(const std::string& name) {
+  static const char* const kCalls[] = {
+      "ite",     "cofactor", "cofactor_cube", "exists",        "forall",
+      "compose", "vector_compose", "permute", "bdd_and",       "bdd_or",
+      "bdd_xor", "bdd_not"};
+  return any_of_names(name, kCalls, std::size(kCalls));
+}
+
+/// Manager methods whose Bdd result is owned by the receiver (used to infer
+/// which manager a local handle belongs to).
+bool handle_factory(const std::string& name) {
+  static const char* const kCalls[] = {
+      "ite",     "cofactor", "cofactor_cube", "exists",   "forall",
+      "compose", "vector_compose", "permute", "bdd_and",  "bdd_or",
+      "bdd_xor", "bdd_not",  "var",           "nvar",     "zero",
+      "one",     "constant", "from_truth_table", "transfer"};
+  return any_of_names(name, kCalls, std::size(kCalls));
+}
+
+bool container_access_method(const std::string& name) {
+  static const char* const kMethods[] = {
+      "find",  "emplace", "try_emplace", "insert",       "count",
+      "at",    "contains", "push_back",  "emplace_back"};
+  return any_of_names(name, kMethods, std::size(kMethods));
+}
+
+// ---------------------------------------------------------------------------
+// determinism (unordered iteration)
+
+bool unordered_container_name(const std::string& name) {
+  static const char* const kNames[] = {"unordered_map", "unordered_set",
+                                       "unordered_multimap",
+                                       "unordered_multiset"};
+  return any_of_names(name, kNames, std::size(kNames));
+}
+
+/// Names declared with an unordered container type anywhere in the file —
+/// locals, parameters, members, and functions returning one (iterating a
+/// freshly built unordered container is just as order-dependent).
+std::vector<std::string> collect_unordered_names(
+    const std::vector<Token>& tokens) {
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (!ident(tokens[i]) || !unordered_container_name(tokens[i].text)) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (j < tokens.size() && punct(tokens[j], "<")) {
+      int depth = 0;
+      for (; j < tokens.size(); ++j) {
+        if (punct(tokens[j], "<")) ++depth;
+        if (punct(tokens[j], ">") && --depth == 0) {
+          ++j;
+          break;
+        }
+        if (punct(tokens[j], ";") || punct(tokens[j], "{")) break;
+      }
+    }
+    while (j < tokens.size() &&
+           (punct(tokens[j], "&") || punct(tokens[j], "*") ||
+            ident(tokens[j], "const"))) {
+      ++j;
+    }
+    if (j < tokens.size() && ident(tokens[j])) names.push_back(tokens[j].text);
+  }
+  return names;
+}
+
+template <typename Report>
+void check_unordered_iteration(const LexedFile& lexed, const Report& report) {
+  const std::vector<Token>& tokens = lexed.tokens;
+  const std::vector<std::string> names = collect_unordered_names(tokens);
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (!ident(tokens[i], "for") || !punct(tokens[i + 1], "(")) continue;
+    // Find the range-for `:` at the for-parens' own depth; a `;` first
+    // means a classic for loop.
+    const std::size_t close = match_forward(tokens, i + 1, "(", ")");
+    if (close == tokens.size()) continue;
+    int depth = 0;
+    std::size_t colon = tokens.size();
+    for (std::size_t j = i + 1; j < close; ++j) {
+      if (punct(tokens[j], "(") || punct(tokens[j], "[")) ++depth;
+      if (punct(tokens[j], ")") || punct(tokens[j], "]")) --depth;
+      if (depth != 1) continue;
+      if (punct(tokens[j], ";")) break;
+      if (punct(tokens[j], ":")) {
+        colon = j;
+        break;
+      }
+    }
+    if (colon == tokens.size()) continue;
+    bool unordered = false;
+    for (std::size_t j = colon + 1; j < close && !unordered; ++j) {
+      if (!ident(tokens[j])) continue;
+      if (unordered_container_name(tokens[j].text)) unordered = true;
+      if (std::find(names.begin(), names.end(), tokens[j].text) !=
+          names.end()) {
+        unordered = true;
+      }
+    }
+    if (!unordered) continue;
+    // The escape may sit on the loop line or on its own line just above.
+    const int line = tokens[i].line;
+    if (lexed.comment_on_line_contains(line, "hyde-unordered-ok") ||
+        lexed.comment_on_line_contains(line - 1, "hyde-unordered-ok")) {
+      continue;
+    }
+    report(line, "determinism",
+           "iteration over an unordered container (visit order is "
+           "hash-seed- and history-dependent)",
+           "iterate sorted keys (or a std::map/std::vector) so results are "
+           "reproducible; if order provably cannot affect any result, "
+           "annotate the loop with // hyde-unordered-ok and say why");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// handle-lifetime
+
+template <typename Report>
+void check_handle_lifetime(const LexedFile& lexed,
+                           const std::vector<FunctionInfo>& functions,
+                           const Report& report) {
+  const std::vector<Token>& tokens = lexed.tokens;
+  const std::vector<MarkerRegion> reorder_scopes =
+      find_marker_regions(lexed, "hyde-reorder-scope");
+  const auto pinned = [&](int line) {
+    return lexed.comment_on_line_contains(line, "hyde-pinned");
+  };
+
+  // (a) Raw node ids keyed into long-lived containers: `member_.find(x.id())`
+  // and `member_[x.id()]`. The container outlives the statement, the pinning
+  // handle does not have to — and GC or a reorder then leaves dangling keys.
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (!ident(tokens[i]) || tokens[i].text.size() < 2 ||
+        tokens[i].text.back() != '_') {
+      continue;
+    }
+    std::size_t span_begin = 0;
+    std::size_t span_end = 0;
+    if (member_access(tokens[i + 1]) && i + 3 < tokens.size() &&
+        ident(tokens[i + 2]) && container_access_method(tokens[i + 2].text) &&
+        punct(tokens[i + 3], "(")) {
+      span_begin = i + 4;
+      span_end = match_forward(tokens, i + 3, "(", ")");
+    } else if (punct(tokens[i + 1], "[")) {
+      span_begin = i + 2;
+      span_end = match_forward(tokens, i + 1, "[", "]");
+    } else {
+      continue;
+    }
+    for (std::size_t j = span_begin; j + 3 < span_end; ++j) {
+      if (member_access(tokens[j]) && ident(tokens[j + 1], "id") &&
+          punct(tokens[j + 2], "(") && punct(tokens[j + 3], ")")) {
+        const int line = tokens[j + 1].line;
+        if (!pinned(line)) {
+          report(line, "handle-lifetime",
+                 "raw node id keyed into a long-lived container",
+                 "key on the Bdd handle itself (bdd::BddHash) so the entry "
+                 "pins its node, or annotate with // hyde-pinned and state "
+                 "what keeps the id alive and un-reordered");
+        }
+      }
+    }
+  }
+
+  // (b) Ids taken off temporary handles: `... = make(...).id()` or
+  // `return make(...).id()`. The temporary dies at the end of the full
+  // expression, so nothing pins the node afterwards.
+  std::size_t stmt_begin = 0;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (punct(tokens[i], ";") || punct(tokens[i], "{") ||
+        punct(tokens[i], "}")) {
+      stmt_begin = i + 1;
+      continue;
+    }
+    if (i + 4 >= tokens.size() || !punct(tokens[i], ")") ||
+        !member_access(tokens[i + 1]) || !ident(tokens[i + 2], "id") ||
+        !punct(tokens[i + 3], "(") || !punct(tokens[i + 4], ")")) {
+      continue;
+    }
+    bool stored = stmt_begin < tokens.size() &&
+                  ident(tokens[stmt_begin], "return");
+    for (std::size_t j = stmt_begin; j < i && !stored; ++j) {
+      if (punct(tokens[j], "=")) stored = true;
+    }
+    if (!stored) continue;
+    const int line = tokens[i + 2].line;
+    if (pinned(line)) continue;
+    report(line, "handle-lifetime",
+           "raw node id taken from a temporary Bdd handle",
+           "bind the Bdd to a named local first (the handle must outlive "
+           "every use of the id), or annotate with // hyde-pinned");
+  }
+
+  // (c) Id locals reused after a kernel call that can GC or reorder: every
+  // kernel runs maybe_gc(), which in auto-reorder mode sifts — and a sift
+  // remaps ids even for pinned handles. hyde-reorder-scope regions are
+  // exempt (the reorder-epoch rule audits those).
+  // (d) Handles applied on a different manager than the one that made them.
+  for (const FunctionInfo& fn : functions) {
+    std::vector<std::string> id_locals;
+    std::vector<std::pair<std::string, std::string>> owners;  // var -> mgr
+    bool barrier_seen = false;
+    const std::size_t end = std::min(fn.body_end, tokens.size());
+    for (std::size_t i = fn.body_begin; i < end; ++i) {
+      // Declaration `name = recv.id()`: track the raw-id local.
+      if (i + 6 < end && ident(tokens[i]) && punct(tokens[i + 1], "=") &&
+          ident(tokens[i + 2]) && member_access(tokens[i + 3]) &&
+          ident(tokens[i + 4], "id") && punct(tokens[i + 5], "(") &&
+          punct(tokens[i + 6], ")")) {
+        id_locals.push_back(tokens[i].text);
+        i += 6;
+        continue;
+      }
+      // Declaration `Bdd name = mgr.factory(...)`: remember the owner.
+      if (i + 4 < end && ident(tokens[i], "Bdd") && ident(tokens[i + 1]) &&
+          punct(tokens[i + 2], "=") && ident(tokens[i + 3]) &&
+          member_access(tokens[i + 4]) && i + 5 < end &&
+          ident(tokens[i + 5]) && handle_factory(tokens[i + 5].text)) {
+        owners.emplace_back(tokens[i + 1].text, tokens[i + 3].text);
+      }
+      // Kernel call `mgr.kernel(args...)`: a GC/reorder barrier, and the
+      // cross-manager check point.
+      if (ident(tokens[i]) && i + 1 < end && punct(tokens[i + 1], "(") &&
+          gc_capable_call(tokens[i].text)) {
+        barrier_seen = true;
+      }
+      if (i + 2 < end && ident(tokens[i]) && member_access(tokens[i + 1]) &&
+          ident(tokens[i + 2]) && handle_kernel(tokens[i + 2].text) &&
+          i + 3 < end && punct(tokens[i + 3], "(")) {
+        const std::string& mgr = tokens[i].text;
+        const std::size_t close = match_forward(tokens, i + 3, "(", ")");
+        for (std::size_t j = i + 4; j < close && j < end; ++j) {
+          if (!ident(tokens[j])) continue;
+          for (const auto& [var, owner] : owners) {
+            if (tokens[j].text == var && owner != mgr &&
+                !pinned(tokens[j].line)) {
+              report(tokens[j].line, "handle-lifetime",
+                     "Bdd handle from manager '" + owner +
+                         "' passed to a kernel of manager '" + mgr + "'",
+                     "handles are manager-private; move the value across "
+                     "with transfer() first");
+            }
+          }
+        }
+      }
+      // Use of a tracked raw-id local after a barrier.
+      if (barrier_seen && ident(tokens[i])) {
+        const auto it =
+            std::find(id_locals.begin(), id_locals.end(), tokens[i].text);
+        if (it != id_locals.end()) {
+          const int line = tokens[i].line;
+          if (!line_in_regions(reorder_scopes, line) && !pinned(line)) {
+            report(line, "handle-lifetime",
+                   "raw node id '" + tokens[i].text +
+                       "' used after a kernel call that can GC or reorder",
+                   "re-read .id() from the pinning Bdd handle after the "
+                   "call (auto-reorder remaps ids), or guard the cached id "
+                   "with the reorder epoch in a hyde-reorder-scope region");
+          }
+          id_locals.erase(it);  // one finding per local is enough
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// lock-discipline
+
+/// Parameter names: the last identifier of each comma-separated declarator
+/// at the parameter list's own nesting depth.
+std::vector<std::string> parameter_names(const std::vector<Token>& tokens,
+                                         std::size_t begin, std::size_t end) {
+  std::vector<std::string> names;
+  int depth = 0;
+  std::string last_ident;
+  for (std::size_t i = begin; i < end && i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (punct(t, "(") || punct(t, "[") || punct(t, "{") || punct(t, "<")) {
+      ++depth;
+      continue;
+    }
+    if (punct(t, ")") || punct(t, "]") || punct(t, "}") || punct(t, ">")) {
+      --depth;
+      continue;
+    }
+    if (depth != 0) continue;
+    if (ident(t)) last_ident = t.text;
+    if (punct(t, ",") || punct(t, "=")) {
+      if (!last_ident.empty()) names.push_back(last_ident);
+      last_ident.clear();
+      if (punct(t, "=")) {
+        // Skip the default argument up to the next top-level comma.
+        for (++i; i < end && i < tokens.size(); ++i) {
+          if (punct(tokens[i], "(") || punct(tokens[i], "[") ||
+              punct(tokens[i], "{") || punct(tokens[i], "<")) {
+            ++depth;
+          } else if (punct(tokens[i], ")") || punct(tokens[i], "]") ||
+                     punct(tokens[i], "}") || punct(tokens[i], ">")) {
+            --depth;
+          } else if (depth == 0 && punct(tokens[i], ",")) {
+            break;
+          }
+        }
+      }
+    }
+  }
+  if (!last_ident.empty()) names.push_back(last_ident);
+  return names;
+}
+
+template <typename Report>
+void check_lock_discipline(const LexedFile& lexed,
+                           const std::vector<FunctionInfo>& functions,
+                           const Report& report) {
+  const std::vector<Token>& tokens = lexed.tokens;
+  const std::vector<MarkerRegion> regions =
+      find_marker_regions(lexed, "hyde-locked");
+  for (const MarkerRegion& r : regions) {
+    if (!r.bound) {
+      // A marker trailing actual code is a line-level waiver for that line,
+      // not a region opener; only a marker on its own line can dangle.
+      const std::string& code_line =
+          lexed.code_lines[static_cast<std::size_t>(r.marker_line - 1)];
+      if (code_line.find_first_not_of(" \t") != std::string::npos) continue;
+      report(r.marker_line, "lock-discipline",
+             "hyde-locked marker does not bind to a braced region",
+             "place the marker directly above (or on) the line that opens "
+             "the locked block");
+    }
+  }
+
+  for (const FunctionInfo& fn : functions) {
+    const std::vector<std::string> params =
+        parameter_names(tokens, fn.params_begin, fn.params_end);
+    std::vector<std::string> guarded;  // X such that X_mutex is also a param
+    for (const std::string& p : params) {
+      if (std::find(params.begin(), params.end(), p + "_mutex") !=
+          params.end()) {
+        guarded.push_back(p);
+      }
+    }
+    if (guarded.empty()) continue;
+
+    const std::size_t end = std::min(fn.body_end, tokens.size());
+    std::size_t stmt_begin = fn.body_begin + 1;
+    for (std::size_t i = stmt_begin; i <= end; ++i) {
+      const bool boundary = i == end || punct(tokens[i], ";") ||
+                            punct(tokens[i], "{") || punct(tokens[i], "}");
+      if (!boundary) continue;
+      for (const std::string& x : guarded) {
+        const std::string mutex_name = x + "_mutex";
+        bool mentions_mutex = false;
+        std::vector<int> use_lines;
+        for (std::size_t j = stmt_begin; j < i; ++j) {
+          if (!ident(tokens[j])) continue;
+          if (tokens[j].text == mutex_name) mentions_mutex = true;
+          if (tokens[j].text == x) use_lines.push_back(tokens[j].line);
+        }
+        if (mentions_mutex || use_lines.empty()) continue;
+        use_lines.erase(std::unique(use_lines.begin(), use_lines.end()),
+                        use_lines.end());
+        for (const int line : use_lines) {
+          bool in_locked = false;
+          for (const MarkerRegion& r : regions) {
+            if (r.bound && line >= r.first_line && line <= r.last_line &&
+                (r.arg.empty() || r.arg == mutex_name)) {
+              in_locked = true;
+              break;
+            }
+          }
+          if (in_locked) continue;
+          if (lexed.comment_on_line_contains(line, "hyde-locked")) continue;
+          report(line, "lock-discipline",
+                 "'" + x + "' read outside a hyde-locked(" + mutex_name +
+                     ") region",
+                 "wrap the access in a block annotated // hyde-locked(" +
+                     mutex_name + "), or pass " + mutex_name +
+                     " along so the callee takes the lock");
+        }
+      }
+      stmt_begin = i + 1;
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<AllowEntry> parse_allowlist(const std::string& text) {
   std::vector<AllowEntry> entries;
   std::istringstream is(text);
   std::string line;
+  int line_no = 0;
   while (std::getline(is, line)) {
+    ++line_no;
     const std::size_t hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
     std::istringstream fields(line);
     AllowEntry entry;
     if (fields >> entry.rule >> entry.path_fragment) {
+      entry.line = line_no;
       entries.push_back(entry);
     }
   }
@@ -205,13 +568,28 @@ bool is_allowed(const std::vector<AllowEntry>& allow, const std::string& rule,
 std::vector<Diagnostic> lint_content(const std::string& path,
                                      const std::string& content,
                                      const Options& opts) {
+  return lint_lexed(path, lex_file(content), opts, nullptr);
+}
+
+std::vector<Diagnostic> lint_lexed(const std::string& path,
+                                   const LexedFile& lexed, const Options& opts,
+                                   std::vector<int>* allow_hits) {
   std::vector<Diagnostic> diags;
-  const std::vector<std::string> lines = split_lines(content);
-  const std::vector<std::string> code = strip_to_code(lines);
+  const std::vector<std::string>& lines = lexed.raw_lines;
+  const std::vector<std::string>& code = lexed.code_lines;
 
   auto report = [&](int line, const std::string& rule,
                     const std::string& message, const std::string& hint) {
-    if (is_allowed(opts.allow, rule, path)) return;
+    for (std::size_t i = 0; i < opts.allow.size(); ++i) {
+      const AllowEntry& entry = opts.allow[i];
+      if ((entry.rule == rule || entry.rule == "*") &&
+          path_contains(path, entry.path_fragment)) {
+        if (allow_hits != nullptr && i < allow_hits->size()) {
+          ++(*allow_hits)[i];
+        }
+        return;
+      }
+    }
     diags.push_back({path, line, rule, message, hint});
   };
   auto apply_rules = [&](const std::vector<TokenRule>& rules,
@@ -230,9 +608,9 @@ std::vector<Diagnostic> lint_content(const std::string& path,
   // Hot-region tracking: a `// hyde-hot` comment covers the function whose
   // opening brace follows the marker (possibly on the marker line itself, as
   // a trailing comment); the region ends at the matching brace. A marker
-  // that finds no brace within kHotBindWindow lines never binds — diagnose
-  // it rather than silently latching onto some unrelated later function.
-  constexpr int kHotBindWindow = 5;
+  // that finds no brace within kMarkerBindWindow lines never binds —
+  // diagnose it rather than silently latching onto some unrelated later
+  // function.
   bool hot_pending = false;
   int hot_depth = 0;
   int hot_marker_line = 0;
@@ -270,11 +648,9 @@ std::vector<Diagnostic> lint_content(const std::string& path,
 
   for (std::size_t i = 0; i < lines.size(); ++i) {
     const int line_no = static_cast<int>(i) + 1;
-    const std::string& raw = lines[i];
     const std::string& c = code[i];
 
-    const bool marker_here = raw.find("hyde-hot") != std::string::npos &&
-                             c.find("hyde-hot") == std::string::npos;
+    const bool marker_here = marker_on_line(lexed, line_no, "hyde-hot");
     if (marker_here) {  // marker lives in a comment, as intended
       hot_pending = true;
       hot_marker_line = line_no;
@@ -296,7 +672,7 @@ std::vector<Diagnostic> lint_content(const std::string& path,
         }
       }
     }
-    if (hot_pending && line_no - hot_marker_line >= kHotBindWindow) {
+    if (hot_pending && line_no - hot_marker_line >= kMarkerBindWindow) {
       hot_pending = false;
       report(hot_marker_line, "hot-path",
              "hyde-hot marker does not bind to a function body",
@@ -305,8 +681,7 @@ std::vector<Diagnostic> lint_content(const std::string& path,
     }
 
     const bool scope_marker_here =
-        raw.find("hyde-reorder-scope") != std::string::npos &&
-        c.find("hyde-reorder-scope") == std::string::npos;
+        marker_on_line(lexed, line_no, "hyde-reorder-scope");
     if (scope_marker_here) {
       scope_pending = true;
       scope_marker_line = line_no;
@@ -340,7 +715,7 @@ std::vector<Diagnostic> lint_content(const std::string& path,
       }
     }
     if (scope_closed) close_scope();
-    if (scope_pending && line_no - scope_marker_line >= kHotBindWindow) {
+    if (scope_pending && line_no - scope_marker_line >= kMarkerBindWindow) {
       scope_pending = false;
       report(scope_marker_line, "reorder-epoch",
              "hyde-reorder-scope marker does not bind to a braced region",
@@ -366,7 +741,7 @@ std::vector<Diagnostic> lint_content(const std::string& path,
     // blanking but the quoted path does not, so pair the code view (proves
     // it is a real directive, not a comment) with the raw text.
     if (c.find("#include") != std::string::npos &&
-        raw.find("\"../") != std::string::npos) {
+        lines[i].find("\"../") != std::string::npos) {
       report(line_no, "include-hygiene",
              "parent-relative include path",
              "include project headers by their src/-relative path");
@@ -396,8 +771,8 @@ std::vector<Diagnostic> lint_content(const std::string& path,
 
   if (is_header(path)) {
     bool has_pragma_once = false;
-    for (const std::string& c : code) {
-      if (c.find("#pragma once") != std::string::npos) {
+    for (const std::string& line : code) {
+      if (line.find("#pragma once") != std::string::npos) {
         has_pragma_once = true;
         break;
       }
@@ -406,6 +781,24 @@ std::vector<Diagnostic> lint_content(const std::string& path,
       report(1, "include-hygiene", "header missing #pragma once",
              "add `#pragma once` as the first directive");
     }
+  }
+
+  // Token/scope-aware families. Scoping: unordered iteration matters where
+  // results are produced (src/, minus bench-style throwaway code);
+  // handle-lifetime everywhere under src/ except the manager's own
+  // internals (src/bdd/ manipulates raw slots by design — reviewed by the
+  // invariant auditor instead); lock-discipline where the concurrent
+  // engines live.
+  const std::vector<FunctionInfo> functions = find_functions(lexed);
+  if (in_library && !in_bench) {
+    check_unordered_iteration(lexed, report);
+  }
+  if (in_library && !path_contains(path, "src/bdd/")) {
+    check_handle_lifetime(lexed, functions, report);
+  }
+  if (path_contains(path, "src/part/") ||
+      path_contains(path, "src/runtime/")) {
+    check_lock_discipline(lexed, functions, report);
   }
 
   return diags;

@@ -1,13 +1,18 @@
 /// \file lint.hpp
 /// \brief hyde_lint: repo-specific static checks, no external dependencies.
 ///
-/// A deliberately small, text-based checker (not a compiler plugin): it
-/// blanks comments and string literals, then applies per-line rules whose
-/// scope is derived from the file path. Rules:
+/// A self-contained analyzer (not a compiler plugin): a real lexer
+/// (lexer.hpp) feeds per-line pattern rules and token/scope-aware semantic
+/// rules. Per-file rule families, with their path scope:
 ///
 ///  - `determinism`       banned nondeterminism sources (std::rand, srand,
 ///                        time(nullptr)-style seeds, std::random_device)
-///                        outside bench/
+///                        outside bench/; plus, under src/, range-for
+///                        iteration over `unordered_map`/`unordered_set`
+///                        (member-order is hash-seed- and history-dependent,
+///                        so any result that depends on visit order breaks
+///                        run-to-run reproducibility). Escape hatch for
+///                        provably order-free loops: `// hyde-unordered-ok`.
 ///  - `hot-path`          no allocating or node-hashing containers inside
 ///                        regions marked `// hyde-hot` (the marker covers
 ///                        the function whose body opens on or shortly after
@@ -26,14 +31,32 @@
 ///                        `level_of(` / `var_at(` reads in an epoch-less
 ///                        region are flagged line-by-line, and a marker that
 ///                        never binds to a braced region is itself diagnosed
+///  - `handle-lifetime`   under src/ (except src/bdd/, whose manager
+///                        internals legitimately manipulate raw slots): a
+///                        raw node id must not outlive the `Bdd` handle that
+///                        pins it — no `.id()` keys in long-lived (member)
+///                        containers, no ids taken off temporary handles,
+///                        no id locals reused after a kernel call that can
+///                        GC or reorder, no handles passed to a different
+///                        manager than the one that made them. Escape:
+///                        `// hyde-pinned` on the flagged line (say why).
+///  - `lock-discipline`   under src/part/ and src/runtime/: a function
+///                        taking both `X` and `X_mutex` parameters declares
+///                        a locking contract; uses of `X` in its body must
+///                        sit inside a `// hyde-locked(X_mutex)` region (the
+///                        marker binds to the next braced block, hot-style)
+///                        or forward `X_mutex` along with `X` to a callee.
 ///
-/// See docs/ANALYSIS.md for the rationale behind each rule and the
-/// allowlist format.
+/// Cross-file rules (`dead-knob`, include-cycle detection, stale-allowlist
+/// pruning) live in project.hpp. See docs/ANALYSIS.md for the rationale
+/// behind each rule and the allowlist format.
 
 #pragma once
 
 #include <string>
 #include <vector>
+
+#include "lint/lexer.hpp"
 
 namespace hyde::lint {
 
@@ -51,6 +74,7 @@ struct Diagnostic {
 struct AllowEntry {
   std::string rule;
   std::string path_fragment;
+  int line = 0;  ///< 1-based line in the allowlist file (0 if synthetic)
 };
 
 struct Options {
@@ -71,6 +95,13 @@ bool is_allowed(const std::vector<AllowEntry>& allow, const std::string& rule,
 std::vector<Diagnostic> lint_content(const std::string& path,
                                      const std::string& content,
                                      const Options& opts);
+
+/// Same, over an already-lexed file. When `allow_hits` is non-null it must
+/// parallel `opts.allow`; the first entry suppressing each diagnostic gets
+/// its count bumped (stale-allowlist detection builds on this).
+std::vector<Diagnostic> lint_lexed(const std::string& path,
+                                   const LexedFile& lexed, const Options& opts,
+                                   std::vector<int>* allow_hits);
 
 /// Formats a diagnostic as `file:line: [rule] message` (plus a hint line in
 /// fix-hints mode).

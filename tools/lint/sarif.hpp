@@ -1,0 +1,22 @@
+/// \file sarif.hpp
+/// \brief SARIF 2.1.0 serialization of hyde_lint diagnostics.
+///
+/// One run, one tool (`hyde_lint`), one rule object per distinct rule id,
+/// one result per diagnostic — the subset of the SARIF 2.1.0 schema that
+/// GitHub code scanning consumes for PR annotations.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace hyde::lint {
+
+/// Renders the diagnostics as a complete SARIF 2.1.0 document (UTF-8 JSON,
+/// trailing newline). An empty vector yields a valid document with an empty
+/// `results` array — CI uploads it unconditionally.
+std::string to_sarif(const std::vector<Diagnostic>& diags);
+
+}  // namespace hyde::lint
