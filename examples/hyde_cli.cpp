@@ -53,7 +53,10 @@
 ///
 ///   --in <file.blif>      run the windowed flow on a BLIF file; the mapped
 ///                 result goes to -o. Output is bit-identical at every
-///                 --window-threads value.
+///                 --window-threads value. A `.blif.gz` archive is inflated
+///                 transparently (zlib builds; trailing garbage after the
+///                 gzip stream rejects the file). Positional BLIF arguments
+///                 accept `.gz` the same way.
 ///   --window-inputs <n>   per-window external-signal budget (default 12)
 ///   --window-nodes <n>    per-window logic-node budget (default 64)
 ///   --window-threads <n>  windows resynthesized concurrently (default 1)
@@ -71,13 +74,28 @@
 ///                     schedule-independent subset
 ///   --no-cache        disable the shared NPN decomposition cache
 ///
+/// Persistent cache (all three modes; docs/CACHE.md): a fingerprint-keyed
+/// on-disk store (src/store/) layered behind the in-memory NPN cache. Warm
+/// runs replay cached decompositions bit-identically, including across
+/// separate hyde_cli processes sharing one directory:
+///
+///   --cache-dir <dir>     attach the on-disk template store rooted at <dir>
+///                 (created if missing). In single-circuit and --in modes the
+///                 cache is only active when this flag is given.
+///   --cache-readonly      consult the store but never write or evict
+///   --cache-max-bytes <n> on-disk byte budget enforced at flush by
+///                 LRU-by-generation eviction (0 = unlimited)
+///
 /// `@name` pulls a circuit from the built-in MCNC-like suite (e.g. @9sym).
 /// PLA inputs with `-` outputs feed their don't cares into the flow.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
 
 #include "baseline/flows.hpp"
@@ -86,8 +104,11 @@
 #include "mapper/xc3000.hpp"
 #include "mcnc/benchmarks.hpp"
 #include "net/blif.hpp"
+#include "net/gzio.hpp"
 #include "net/pla.hpp"
 #include "runtime/batch.hpp"
+#include "runtime/npn_cache.hpp"
+#include "store/persistent_cache.hpp"
 
 namespace {
 
@@ -118,7 +139,8 @@ int usage() {
                "[--cache-max-support n] [--no-search-memo] "
                "[--no-search-pruning] [--no-class-signatures] "
                "[--signature-rows n] [--node-limit n] [--tear-penalty x]\n"
-               "       hyde_cli --batch [-k n] [-s system|all] [--workers n] "
+               "       hyde_cli --batch [--circuits a,b,c] [-k n] "
+               "[-s system|all] [--workers n] "
                "[--seed n] [--json file] [--csv file] [--deterministic-json] "
                "[--no-cache] [--no-verify] [--profile] [--search-threads n] "
                "[--encoder-threads n] [--reorder off|sift|auto] "
@@ -127,13 +149,30 @@ int usage() {
                "[-o out.blif] [--window-inputs n] [--window-nodes n] "
                "[--window-threads n] [--reorder off|sift|auto] "
                "[--reorder-max-growth x] [--manager-pool] [--read-latches] "
-               "[--no-verify] [--profile]\n");
+               "[--no-verify] [--profile]\n"
+               "  persistent cache (all modes): [--cache-dir dir] "
+               "[--cache-readonly] [--cache-max-bytes n]\n");
   return 2;
 }
 
 bool ends_with(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Loads a BLIF model from \p path, transparently inflating `.gz` archives
+/// (net/gzio.hpp). Gzip errors — truncation, corruption, trailing garbage —
+/// surface as exceptions naming the file, exactly like a missing file.
+hyde::net::BlifModel load_blif_model(const std::string& path,
+                                     const hyde::net::BlifReadOptions& options) {
+  if (hyde::net::is_gzip_name(path)) {
+    const std::string text = hyde::net::gunzip_file(path);
+    std::istringstream in(text);
+    return hyde::net::read_blif_model(in, options);
+  }
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return hyde::net::read_blif_model(in, options);
 }
 
 /// Strict decimal parse: the whole argument must be a number. Guards against
@@ -275,20 +314,70 @@ void print_profile(const hyde::core::FlowStats& stats, const char* indent) {
       stats.classes_seconds, stats.encoding_seconds, stats.mapping_seconds);
 }
 
+/// One-line summary of the persistent store's traffic. Printed with a stable
+/// shape in every mode that attaches --cache-dir: the cross-process reuse
+/// test and the CI cold→warm job grep this line for the disk-hit count.
+void print_store_summary(std::uint64_t disk_hits, std::uint64_t disk_misses,
+                         std::uint64_t records, std::uint64_t appends,
+                         std::uint64_t bytes_read, std::uint64_t bytes_written,
+                         double codec_ratio, std::uint64_t evictions,
+                         std::uint64_t corrupt_records, bool readonly,
+                         std::uint64_t job_hits, std::uint64_t job_appends) {
+  std::printf("store: %llu disk hits, %llu disk misses, %llu records "
+              "(%llu appended), %llu bytes read, %llu bytes written, "
+              "codec ratio %.3f, %llu evictions, %llu corrupt, "
+              "%llu job replays (%llu committed)%s\n",
+              static_cast<unsigned long long>(disk_hits),
+              static_cast<unsigned long long>(disk_misses),
+              static_cast<unsigned long long>(records),
+              static_cast<unsigned long long>(appends),
+              static_cast<unsigned long long>(bytes_read),
+              static_cast<unsigned long long>(bytes_written), codec_ratio,
+              static_cast<unsigned long long>(evictions),
+              static_cast<unsigned long long>(corrupt_records),
+              static_cast<unsigned long long>(job_hits),
+              static_cast<unsigned long long>(job_appends),
+              readonly ? " (readonly)" : "");
+}
+
 int run_batch_mode(const std::string& system_name, int k, int workers,
                    std::uint64_t seed, bool verify, bool use_cache,
                    const std::string& json_path, const std::string& csv_path,
                    bool deterministic_json, bool profile, int search_threads,
                    int encoder_threads, int cache_max_support,
                    bool class_signatures, hyde::bdd::ReorderMode reorder,
-                   double reorder_max_growth, bool manager_pool) {
+                   double reorder_max_growth, bool manager_pool,
+                   const std::string& cache_dir, bool cache_readonly,
+                   std::uint64_t cache_max_bytes,
+                   const std::string& circuits_filter) {
   using namespace hyde;
   std::vector<baseline::System> systems;
   for (const auto& [name, system] : known_systems()) {
     if (system_name == "all" || system_name == name) systems.push_back(system);
   }
 
-  const std::vector<std::string> circuits = mcnc::all_circuits();
+  std::vector<std::string> circuits = mcnc::all_circuits();
+  if (!circuits_filter.empty()) {
+    // --circuits a,b,c: restrict the suite, keeping the given order. Unknown
+    // names fail fast instead of silently shrinking the batch.
+    circuits.clear();
+    std::stringstream stream(circuits_filter);
+    std::string name;
+    while (std::getline(stream, name, ',')) {
+      if (name.empty()) continue;
+      const std::vector<std::string> known = mcnc::all_circuits();
+      if (std::find(known.begin(), known.end(), name) == known.end()) {
+        std::fprintf(stderr, "error: unknown circuit in --circuits: %s\n",
+                     name.c_str());
+        return 2;
+      }
+      circuits.push_back(name);
+    }
+    if (circuits.empty()) {
+      std::fprintf(stderr, "error: --circuits selected no circuits\n");
+      return 2;
+    }
+  }
   const auto jobs = runtime::suite_jobs(circuits, systems, k, seed);
   runtime::BatchOptions options;
   options.workers = workers;
@@ -301,6 +390,9 @@ int run_batch_mode(const std::string& system_name, int k, int workers,
   options.reorder = reorder;
   options.reorder_max_growth = reorder_max_growth;
   options.manager_pool = manager_pool;
+  options.cache_dir = cache_dir;
+  options.cache_readonly = cache_readonly;
+  options.cache_max_bytes = cache_max_bytes;
 
   std::printf("batch: %zu jobs (%zu circuits x %zu systems), k=%d, "
               "%d workers, cache %s\n",
@@ -343,6 +435,14 @@ int run_batch_mode(const std::string& system_name, int k, int workers,
               static_cast<unsigned long long>(report.cache.hits),
               static_cast<unsigned long long>(report.cache.misses),
               100.0 * report.cache.hit_rate());
+  if (report.store.enabled) {
+    print_store_summary(report.store.disk_hits, report.store.disk_misses,
+                        report.store.records, report.store.appends,
+                        report.store.bytes_read, report.store.bytes_written,
+                        report.store.codec_ratio(), report.store.evictions,
+                        report.store.corrupt_records, report.store.readonly,
+                        report.store.job_hits, report.store.job_appends);
+  }
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -389,6 +489,10 @@ int main(int argc, char** argv) {
   bdd::ReorderMode reorder = bdd::ReorderMode::kOff;
   double reorder_max_growth = 2.0;
   bool manager_pool = false;
+  std::string cache_dir;
+  bool cache_readonly = false;
+  std::uint64_t cache_max_bytes = 0;
+  std::string batch_circuits;
   FlowOverrides ov;
   // First flow-shaping flag seen; batch mode rejects these (it runs the
   // preset systems as published), so remember the name for the error.
@@ -580,6 +684,24 @@ int main(int argc, char** argv) {
         return 2;
       }
       ov.cache_max_support = static_cast<int>(value);
+    } else if (arg == "--cache-dir" && i + 1 < argc) {
+      cache_dir = argv[++i];
+      if (cache_dir.empty()) {
+        std::fprintf(stderr, "error: --cache-dir expects a directory path\n");
+        return 2;
+      }
+    } else if (arg == "--cache-readonly") {
+      cache_readonly = true;
+    } else if (arg == "--cache-max-bytes" && i + 1 < argc) {
+      long value = 0;
+      if (!parse_long(argv[++i], &value) || value < 0) {
+        std::fprintf(stderr,
+                     "error: --cache-max-bytes expects a non-negative integer "
+                     "(0 = unlimited), got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      cache_max_bytes = static_cast<std::uint64_t>(value);
     } else if (arg == "--no-search-memo") {
       ov.no_search_memo = true;
       if (shape_flag.empty()) shape_flag = arg;
@@ -654,6 +776,8 @@ int main(int argc, char** argv) {
       verify = false;
     } else if (arg == "--batch") {
       batch = true;
+    } else if (arg == "--circuits" && i + 1 < argc) {
+      batch_circuits = argv[++i];
     } else if (arg == "--no-cache") {
       use_cache = false;
     } else if (arg == "--deterministic-json") {
@@ -663,6 +787,25 @@ int main(int argc, char** argv) {
     } else {
       source = arg;
     }
+  }
+
+  if (cache_dir.empty() && (cache_readonly || cache_max_bytes != 0)) {
+    std::fprintf(stderr,
+                 "error: --cache-readonly and --cache-max-bytes only apply "
+                 "to a persistent store; add --cache-dir\n");
+    return 2;
+  }
+  if (!cache_dir.empty() && !use_cache) {
+    std::fprintf(stderr,
+                 "error: --cache-dir layers the store behind the NPN cache; "
+                 "drop --no-cache\n");
+    return 2;
+  }
+
+  if (!batch_circuits.empty() && !batch) {
+    std::fprintf(stderr,
+                 "error: --circuits filters the --batch suite; add --batch\n");
+    return 2;
   }
 
   if (batch) {
@@ -686,7 +829,8 @@ int main(int argc, char** argv) {
                           search_threads, encoder_threads,
                           ov.cache_max_support >= 0 ? ov.cache_max_support : 7,
                           !ov.no_class_signatures, reorder,
-                          reorder_max_growth, manager_pool);
+                          reorder_max_growth, manager_pool, cache_dir,
+                          cache_readonly, cache_max_bytes, batch_circuits);
   }
 
   if (!in_file.empty()) {
@@ -708,11 +852,9 @@ int main(int argc, char** argv) {
     net::Network input("empty");
     int latches = 0;
     try {
-      std::ifstream in(in_file);
-      if (!in) throw std::runtime_error("cannot open " + in_file);
       net::BlifReadOptions read_options;
       read_options.latch_combinational = read_latches;
-      net::BlifModel model = net::read_blif_model(in, read_options);
+      net::BlifModel model = load_blif_model(in_file, read_options);
       input = std::move(model.network);
       latches = model.latches;
     } catch (const std::exception& e) {
@@ -739,6 +881,19 @@ int main(int argc, char** argv) {
     options.window.max_inputs = window_inputs;
     options.window.max_nodes = window_nodes;
     options.threads = window_threads;
+    // Attaching a cache is result-affecting versus the historical uncached
+    // windowed run (sub-flow seeds derive from cache keys), so the tiered
+    // memory+disk cache is opt-in via --cache-dir here.
+    runtime::NpnResultCache window_mem_cache;
+    std::unique_ptr<store::PersistentStore> window_disk;
+    std::unique_ptr<store::TieredCache> window_tiered;
+    if (!cache_dir.empty()) {
+      window_disk = std::make_unique<store::PersistentStore>(
+          store::StoreOptions{cache_dir, cache_readonly, cache_max_bytes});
+      window_tiered = std::make_unique<store::TieredCache>(&window_mem_cache,
+                                                           window_disk.get());
+      options.flow.cache = window_tiered.get();
+    }
     const baseline::BaselineResult result =
         baseline::run_windowed_system(input, options, verify ? 256 : 0);
     const core::FlowStats& stats = result.stats;
@@ -755,6 +910,14 @@ int main(int argc, char** argv) {
                 stats.window_peak_nodes, stats.windows_resynthesized,
                 stats.windows_passthrough, stats.windows_budget_fallbacks,
                 stats.windows_split, stats.windows_verify_failures);
+    if (window_disk != nullptr) {
+      window_disk->flush();
+      const store::StoreCounters sc = window_disk->counters();
+      print_store_summary(sc.disk_hits, sc.disk_misses, sc.records, sc.appends,
+                          sc.bytes_read, sc.bytes_written, sc.codec_ratio(),
+                          sc.evictions, sc.corrupt_records, cache_readonly,
+                          sc.job_hits, sc.job_appends);
+    }
     if (profile) {
       print_profile(stats, "  ");
       std::printf("  extract %.3fs | stitch %.3fs\n",
@@ -794,11 +957,9 @@ int main(int argc, char** argv) {
       dc = std::move(model.dont_care);
       has_dc = model.has_dont_cares;
     } else {
-      std::ifstream in(source);
-      if (!in) throw std::runtime_error("cannot open " + source);
       net::BlifReadOptions read_options;
       read_options.latch_combinational = read_latches;
-      net::BlifModel model = net::read_blif_model(in, read_options);
+      net::BlifModel model = load_blif_model(source, read_options);
       input = std::move(model.network);
       dc = std::move(model.dont_care);
       has_dc = model.has_dont_cares;
@@ -815,6 +976,18 @@ int main(int argc, char** argv) {
   // Shared across the per-system runs below so a manager warmed by one
   // system seeds the next; only handed out when --manager-pool was given.
   bdd::ManagerPool single_run_pool;
+  // Opt-in persistent cache, shared by every -s system run: the FlowOptions
+  // fingerprint inside each cache key keeps entries from different systems
+  // apart, exactly as in batch mode.
+  runtime::NpnResultCache single_mem_cache;
+  std::unique_ptr<store::PersistentStore> single_disk;
+  std::unique_ptr<store::TieredCache> single_tiered;
+  if (!cache_dir.empty()) {
+    single_disk = std::make_unique<store::PersistentStore>(
+        store::StoreOptions{cache_dir, cache_readonly, cache_max_bytes});
+    single_tiered = std::make_unique<store::TieredCache>(&single_mem_cache,
+                                                         single_disk.get());
+  }
   for (const auto& [name, system] : known_systems()) {
     if (system_name != "all" && system_name != name) continue;
     // For DC-aware runs use the core flow directly (baseline::run_system
@@ -822,6 +995,7 @@ int main(int argc, char** argv) {
     if (has_dc && system == baseline::System::kHyde) {
       core::FlowOptions dc_flow_options = core::hyde_options(k);
       ov.apply(&dc_flow_options);
+      if (single_tiered != nullptr) dc_flow_options.cache = single_tiered.get();
       auto flow = core::run_flow(input, dc_flow_options, &dc);
       mapper::dedup_shared_nodes(flow.network);
       mapper::collapse_into_fanouts(flow.network, k);
@@ -842,6 +1016,7 @@ int main(int argc, char** argv) {
     flow_options.reorder_max_growth = reorder_max_growth;
     flow_options.manager_pool = manager_pool ? &single_run_pool : nullptr;
     ov.apply(&flow_options);
+    if (single_tiered != nullptr) flow_options.cache = single_tiered.get();
     auto result =
         baseline::run_system(input, system, flow_options, verify ? 256 : 0);
     std::printf("%-10s %5d LUTs", name.c_str(), result.luts);
@@ -856,6 +1031,14 @@ int main(int argc, char** argv) {
       best_luts = result.luts;
       best_network = std::move(result.network);
     }
+  }
+  if (single_disk != nullptr) {
+    single_disk->flush();
+    const store::StoreCounters sc = single_disk->counters();
+    print_store_summary(sc.disk_hits, sc.disk_misses, sc.records, sc.appends,
+                        sc.bytes_read, sc.bytes_written, sc.codec_ratio(),
+                        sc.evictions, sc.corrupt_records, cache_readonly,
+                        sc.job_hits, sc.job_appends);
   }
   if (best_luts < 0) return usage();
 

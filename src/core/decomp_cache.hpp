@@ -76,9 +76,20 @@ struct NpnCacheKey {
   }
 };
 
+/// Which tier of a (possibly multi-level) cache served a lookup. Flows use
+/// this to split their cache-hit stats into memory hits and disk hits
+/// without knowing the cache topology.
+enum class LookupTier {
+  kMiss = 0,
+  kMemory = 1,
+  kDisk = 2,
+};
+
 /// Abstract memo table. The concrete sharded implementation lives in
 /// src/runtime/npn_cache; core only needs the interface so FlowOptions can
 /// carry an optional cache pointer without depending on the runtime layer.
+/// The persistent second level (src/store/persistent_cache) layers behind it
+/// through the same interface via `lookup_tiered`/`has_persistent_tier`.
 class DecompCache {
  public:
   virtual ~DecompCache() = default;
@@ -86,6 +97,21 @@ class DecompCache {
   /// Returns the entry for \p key, or nullptr on miss.
   virtual std::shared_ptr<const CachedDecomposition> lookup(
       const NpnCacheKey& key) = 0;
+
+  /// Like lookup, but additionally reports which tier served the entry
+  /// (when \p tier is non-null). Single-level caches report kMemory on hit.
+  virtual std::shared_ptr<const CachedDecomposition> lookup_tiered(
+      const NpnCacheKey& key, LookupTier* tier) {
+    auto entry = lookup(key);
+    if (tier != nullptr) {
+      *tier = entry ? LookupTier::kMemory : LookupTier::kMiss;
+    }
+    return entry;
+  }
+
+  /// True when misses fall through to an on-disk tier; flows then count
+  /// their misses as disk misses in the store stats.
+  virtual bool has_persistent_tier() const { return false; }
 
   /// Publishes \p value under \p key and returns the entry now stored there.
   /// When another thread raced the computation, the first insert wins and its

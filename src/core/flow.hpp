@@ -149,6 +149,14 @@ struct FlowStats {
   /// hit/miss totals live on the cache itself, which is shared state).
   int cache_lookups = 0;
 
+  // Persistent-store counters (src/store/persistent_cache.hpp), populated
+  // only when FlowOptions::cache has a persistent tier. Volatile: whether a
+  // key is served from memory or disk depends on which thread warmed the
+  // memory tier first, so these are only emitted in volatile report
+  // sections. Store-level byte/eviction counters live on the store itself.
+  std::uint64_t store_disk_hits = 0;    ///< lookups served by the disk tier
+  std::uint64_t store_disk_misses = 0;  ///< lookups that missed every tier
+
   // BDD-kernel counters summed over every manager the flow created (the
   // global manager plus one per NPN-cache template miss). Volatile in the
   // sense of run reports: they vary with cache hit patterns and thread
@@ -237,6 +245,8 @@ struct FlowStats {
     class_signature_pairs += s.class_signature_pairs;
     class_bdd_pairs += s.class_bdd_pairs;
     encoder_parallel_tasks += s.encoder_parallel_tasks;
+    store_disk_hits += s.store_disk_hits;
+    store_disk_misses += s.store_disk_misses;
     varpart_seconds += s.varpart_seconds;
     classes_seconds += s.classes_seconds;
     encoding_seconds += s.encoding_seconds;

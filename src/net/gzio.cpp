@@ -1,0 +1,139 @@
+#include "net/gzio.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#if defined(HYDE_HAS_ZLIB)
+#include <zlib.h>
+#endif
+
+namespace hyde::net {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error(path + ": " + what);
+}
+
+std::vector<std::uint8_t> read_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(path, "cannot open");
+  std::vector<std::uint8_t> bytes;
+  char chunk[65536];
+  while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + in.gcount());
+  }
+  return bytes;
+}
+
+}  // namespace
+
+bool is_gzip_name(const std::string& path) {
+  static const std::string suffix = ".gz";
+  return path.size() > suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+#if defined(HYDE_HAS_ZLIB)
+
+bool gzip_available() { return true; }
+
+std::string gunzip_file(const std::string& path) {
+  const std::vector<std::uint8_t> bytes = read_binary(path);
+  if (bytes.size() < 2 || bytes[0] != 0x1f || bytes[1] != 0x8b) {
+    fail(path, "not a gzip archive (bad magic)");
+  }
+
+  std::string text;
+  z_stream zs{};
+  // windowBits 15 + 16 selects gzip (not raw/zlib) framing, so the header
+  // and the member CRC/length trailer are checked by inflate itself.
+  if (inflateInit2(&zs, 15 + 16) != Z_OK) {
+    fail(path, "zlib initialization failed");
+  }
+  zs.next_in = const_cast<Bytef*>(bytes.data());
+  zs.avail_in = static_cast<uInt>(bytes.size());
+
+  char out[65536];
+  bool done = false;
+  while (!done) {
+    zs.next_out = reinterpret_cast<Bytef*>(out);
+    zs.avail_out = sizeof(out);
+    const int rc = inflate(&zs, Z_NO_FLUSH);
+    text.append(out, sizeof(out) - zs.avail_out);
+    if (rc == Z_STREAM_END) {
+      if (zs.avail_in == 0) {
+        done = true;
+      } else if (zs.avail_in >= 2 && zs.next_in[0] == 0x1f &&
+                 zs.next_in[1] == 0x8b) {
+        // Another member follows (concatenated archive): keep inflating.
+        if (inflateReset(&zs) != Z_OK) {
+          inflateEnd(&zs);
+          fail(path, "zlib reset failed between gzip members");
+        }
+      } else {
+        inflateEnd(&zs);
+        fail(path, "trailing garbage after gzip stream");
+      }
+    } else if (rc == Z_OK) {
+      if (zs.avail_in == 0 && zs.avail_out != 0) {
+        // inflate consumed everything without reaching the stream trailer.
+        inflateEnd(&zs);
+        fail(path, "truncated gzip stream");
+      }
+    } else if (rc == Z_BUF_ERROR && zs.avail_out == 0) {
+      // Output buffer full: loop for more.
+    } else {
+      inflateEnd(&zs);
+      fail(path, zs.msg != nullptr
+                     ? std::string("corrupt gzip stream (") + zs.msg + ")"
+                     : "corrupt gzip stream");
+    }
+  }
+  inflateEnd(&zs);
+  return text;
+}
+
+std::vector<std::uint8_t> gzip_compress(const std::string& text) {
+  z_stream zs{};
+  if (deflateInit2(&zs, Z_BEST_COMPRESSION, Z_DEFLATED, 15 + 16, 8,
+                   Z_DEFAULT_STRATEGY) != Z_OK) {
+    throw std::runtime_error("gzip_compress: zlib initialization failed");
+  }
+  zs.next_in =
+      const_cast<Bytef*>(reinterpret_cast<const Bytef*>(text.data()));
+  zs.avail_in = static_cast<uInt>(text.size());
+
+  std::vector<std::uint8_t> archive;
+  std::uint8_t out[65536];
+  int rc = Z_OK;
+  do {
+    zs.next_out = out;
+    zs.avail_out = sizeof(out);
+    rc = deflate(&zs, Z_FINISH);
+    if (rc != Z_OK && rc != Z_STREAM_END) {
+      deflateEnd(&zs);
+      throw std::runtime_error("gzip_compress: deflate failed");
+    }
+    archive.insert(archive.end(), out, out + (sizeof(out) - zs.avail_out));
+  } while (rc != Z_STREAM_END);
+  deflateEnd(&zs);
+  return archive;
+}
+
+#else  // !HYDE_HAS_ZLIB
+
+bool gzip_available() { return false; }
+
+std::string gunzip_file(const std::string& path) {
+  fail(path, "gzip input is not supported in this build (no zlib)");
+}
+
+std::vector<std::uint8_t> gzip_compress(const std::string&) {
+  throw std::runtime_error(
+      "gzip_compress: not supported in this build (no zlib)");
+}
+
+#endif  // HYDE_HAS_ZLIB
+
+}  // namespace hyde::net

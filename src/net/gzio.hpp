@@ -1,0 +1,48 @@
+/// \file gzio.hpp
+/// \brief Gzip-compressed input support for netlist readers.
+///
+/// `gunzip_file` inflates a `.gz` archive into the text the BLIF/PLA readers
+/// consume, so `hyde_cli --in circuit.blif.gz` behaves exactly like the
+/// uncompressed file. Decompression is strict:
+///
+///  - the archive must be a well-formed gzip stream (RFC 1952); multi-member
+///    archives (concatenated gzip streams, what `cat a.gz b.gz` produces)
+///    inflate to the concatenation of their members, matching `gzip -d`;
+///  - bytes after the last member that do not start another gzip stream are
+///    *trailing garbage* and reject the whole file. The error names the file
+///    but carries no line number — there are no lines in a corrupt archive.
+///
+/// The implementation is gated on zlib: when the toolchain lacks it
+/// (`gzip_available()` returns false), `gunzip_file` throws a
+/// std::runtime_error explaining that gzip input is unsupported in this
+/// build. Callers decide by file name — `is_gzip_name` — so builds without
+/// zlib still give a precise error for `.gz` inputs instead of feeding
+/// compressed bytes to the BLIF lexer.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hyde::net {
+
+/// True when this binary was built against zlib and can inflate archives.
+bool gzip_available();
+
+/// True when \p path names a gzip archive by convention (".gz" suffix).
+bool is_gzip_name(const std::string& path);
+
+/// Reads \p path and inflates it to the contained text. Throws
+/// std::runtime_error — always naming the file, never a line — when the file
+/// cannot be read, is not a gzip stream, is truncated or corrupt, carries a
+/// bad CRC, has trailing garbage after the last member, or when this build
+/// lacks zlib.
+std::string gunzip_file(const std::string& path);
+
+/// Compresses \p text into a single-member gzip archive (test helper for the
+/// round-trip and trailing-garbage suites). Throws std::runtime_error when
+/// this build lacks zlib.
+std::vector<std::uint8_t> gzip_compress(const std::string& text);
+
+}  // namespace hyde::net

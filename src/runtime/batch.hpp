@@ -38,6 +38,21 @@ struct BatchOptions {
   int verify_vectors = 128; ///< random-vector equivalence check per job (0 = off)
   bool use_cache = true;    ///< share an NpnResultCache across all jobs
   int cache_max_support = 7;
+  /// Persistent second-level cache directory (src/store). Empty keeps the
+  /// cache in-memory only. When set (and use_cache is on), jobs look up
+  /// memory → disk and the store is flushed once at the end of the batch.
+  /// The store also acts as a whole-job replay tier: a job whose outcome was
+  /// committed by an earlier run under the same (circuit content, system, k,
+  /// seed, result-affecting knobs) fingerprint is replayed from disk without
+  /// re-synthesizing — the deterministic report subset is bit-identical
+  /// either way (docs/CACHE.md).
+  std::string cache_dir;
+  /// Consult the on-disk store but never write or evict (e.g. CI readers
+  /// sharing a golden cache).
+  bool cache_readonly = false;
+  /// On-disk byte budget applied at flush via LRU-by-generation eviction;
+  /// 0 = unlimited.
+  std::uint64_t cache_max_bytes = 0;
   /// Intra-flow bound-set search threads per job (decomp/search.hpp).
   /// Result-identical at any value; the default 1 avoids oversubscribing the
   /// batch worker pool. Total threads ~= workers * search_threads.

@@ -91,14 +91,41 @@ std::string to_json(const RunReport& report, bool include_volatile) {
     out += ", \"peak_inputs\": " + std::to_string(report.windows.peak_inputs);
     out += ", \"peak_nodes\": " + std::to_string(report.windows.peak_nodes);
     out += "},\n";
+    out += "  \"store\": {";
+    out += std::string("\"enabled\": ") +
+           (report.store.enabled ? "true" : "false");
+    out += std::string(", \"readonly\": ") +
+           (report.store.readonly ? "true" : "false");
+    out += ", \"disk_hits\": " + std::to_string(report.store.disk_hits);
+    out += ", \"disk_misses\": " + std::to_string(report.store.disk_misses);
+    out += ", \"bytes_read\": " + std::to_string(report.store.bytes_read);
+    out += ", \"bytes_written\": " + std::to_string(report.store.bytes_written);
+    out += ", \"raw_bytes\": " + std::to_string(report.store.raw_bytes);
+    out += ", \"coded_bytes\": " + std::to_string(report.store.coded_bytes);
+    out += ", \"codec_ratio\": " + format_double(report.store.codec_ratio());
+    out += ", \"evictions\": " + std::to_string(report.store.evictions);
+    out += ", \"corrupt_records\": " +
+           std::to_string(report.store.corrupt_records);
+    out += ", \"appends\": " + std::to_string(report.store.appends);
+    out += ", \"records\": " + std::to_string(report.store.records);
+    out += ", \"job_hits\": " + std::to_string(report.store.job_hits);
+    out += ", \"job_appends\": " + std::to_string(report.store.job_appends);
+    out += "},\n";
   }
   out += "  \"cache\": {\n";
   out += std::string("    \"enabled\": ") +
          (report.cache.enabled ? "true" : "false") + ",\n";
   out += "    \"max_support\": " + std::to_string(report.cache.max_support) + ",\n";
-  out += "    \"flow_lookups\": " + std::to_string(report.cache.flow_lookups) + ",\n";
-  out += "    \"unique_functions\": " +
-         std::to_string(report.cache.unique_functions);
+  out += "    \"flow_lookups\": " + std::to_string(report.cache.flow_lookups);
+  // The memory tier's distinct-function count is a pure function of the job
+  // list only while no persistent tier exists; with a store attached, disk
+  // promotions and whole-job replays legitimately change which keys the
+  // memory tier ever sees, so the field moves to the volatile group (keeping
+  // cold and warm deterministic outputs diffable).
+  if (!report.store.enabled || include_volatile) {
+    out += ",\n    \"unique_functions\": " +
+           std::to_string(report.cache.unique_functions);
+  }
   if (include_volatile) {
     out += ",\n";
     out += "    \"hits\": " + std::to_string(report.cache.hits) + ",\n";
@@ -190,6 +217,11 @@ std::string to_json(const RunReport& report, bool include_volatile) {
       out += ", \"stitch_seconds\": " +
              format_double(job.stats.window_stitch_seconds);
       out += "}";
+      out += ",\n      \"store\": {";
+      out += "\"disk_hits\": " + std::to_string(job.stats.store_disk_hits);
+      out += ", \"disk_misses\": " +
+             std::to_string(job.stats.store_disk_misses);
+      out += "}";
       out += ",\n      \"profile\": {";
       out += "\"varpart_seconds\": " +
              format_double(job.stats.varpart_seconds);
@@ -220,7 +252,8 @@ std::string to_csv(const RunReport& report) {
       "varpart_seconds,classes_seconds,encoding_seconds,mapping_seconds,"
       "class_signature_pairs,class_bdd_pairs,encoder_parallel_tasks,"
       "windows_extracted,windows_resynthesized,windows_passthrough,"
-      "windows_budget_fallbacks,windows_split,windows_verify_failures\n";
+      "windows_budget_fallbacks,windows_split,windows_verify_failures,"
+      "store_disk_hits,store_disk_misses\n";
   for (const JobReport& job : report.jobs) {
     out += job.circuit + "," + job.system + "," + std::to_string(job.k) + "," +
            std::to_string(job.seed) + "," + std::to_string(job.luts) + "," +
@@ -255,7 +288,9 @@ std::string to_csv(const RunReport& report) {
            std::to_string(job.stats.windows_passthrough) + "," +
            std::to_string(job.stats.windows_budget_fallbacks) + "," +
            std::to_string(job.stats.windows_split) + "," +
-           std::to_string(job.stats.windows_verify_failures) + "\n";
+           std::to_string(job.stats.windows_verify_failures) + "," +
+           std::to_string(job.stats.store_disk_hits) + "," +
+           std::to_string(job.stats.store_disk_misses) + "\n";
   }
   return out;
 }

@@ -44,7 +44,10 @@ struct CacheReport {
   int max_support = 0;
   /// Deterministic: total cache consultations summed over job FlowStats.
   std::uint64_t flow_lookups = 0;
-  /// Deterministic: distinct memoized functions (the needed-key closure).
+  /// Distinct memoized functions (the needed-key closure). Deterministic for
+  /// memory-only runs; volatile once a persistent store is attached, because
+  /// disk promotions and whole-job replays change which keys reach the
+  /// memory tier.
   std::uint64_t unique_functions = 0;
   // Observed traffic (volatile).
   std::uint64_t hits = 0;
@@ -54,6 +57,34 @@ struct CacheReport {
   double hit_rate() const {
     const std::uint64_t total = hits + misses;
     return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// Persistent on-disk store figures for the whole run
+/// (src/store/persistent_cache.hpp). Volatile: which lookups reach the disk
+/// tier depends on which worker warmed the memory tier first, and the byte
+/// counters track actual disk traffic.
+struct StoreReport {
+  bool enabled = false;
+  bool readonly = false;
+  std::uint64_t disk_hits = 0;
+  std::uint64_t disk_misses = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t raw_bytes = 0;    ///< fixed-width payload bytes put this run
+  std::uint64_t coded_bytes = 0;  ///< entropy-coded bytes for the same puts
+  std::uint64_t evictions = 0;
+  std::uint64_t corrupt_records = 0;
+  std::uint64_t appends = 0;
+  std::uint64_t records = 0;  ///< records visible on disk at snapshot time
+  std::uint64_t job_hits = 0;     ///< whole-job outcomes replayed from disk
+  std::uint64_t job_appends = 0;  ///< whole-job outcomes committed this run
+
+  /// Entropy-coded over fixed-width size; 0 when nothing was written.
+  double codec_ratio() const {
+    return raw_bytes == 0 ? 0.0
+                          : static_cast<double>(coded_bytes) /
+                                static_cast<double>(raw_bytes);
   }
 };
 
@@ -115,6 +146,7 @@ struct RunReport {
   int verify_vectors = 0;
   std::vector<JobReport> jobs;  ///< submission order, independent of finish order
   CacheReport cache;
+  StoreReport store;         ///< volatile; persistent-cache runs only
   BddKernelReport bdd;       ///< volatile
   SearchReport search;       ///< volatile
   ClassesReport classes;     ///< volatile

@@ -1,0 +1,158 @@
+/// Unit tests for net/gzio: gzip round-trips, multi-member archives, and the
+/// strict failure modes (trailing garbage, truncation, non-gzip input) whose
+/// errors must name the file — never a line number, because a corrupt
+/// archive has no lines.
+
+#include "net/gzio.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include <unistd.h>
+
+namespace hyde::net {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path temp_file(const std::string& tag) {
+  return fs::temp_directory_path() /
+         ("hyde_gzio_" + tag + "_" +
+          std::to_string(static_cast<long>(::getpid())) + ".gz");
+}
+
+void write_bytes(const fs::path& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Expects gunzip_file to throw, returning the message for content checks.
+std::string gunzip_error(const fs::path& path) {
+  try {
+    gunzip_file(path.string());
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "gunzip_file(" << path << ") did not throw";
+  return {};
+}
+
+TEST(GzioTest, GzipNameConvention) {
+  EXPECT_TRUE(is_gzip_name("circuit.blif.gz"));
+  EXPECT_TRUE(is_gzip_name("a.gz"));
+  EXPECT_FALSE(is_gzip_name("circuit.blif"));
+  EXPECT_FALSE(is_gzip_name(".gz"));  // no stem, not a usable archive name
+  EXPECT_FALSE(is_gzip_name(""));
+}
+
+TEST(GzioTest, RoundTrip) {
+  if (!gzip_available()) GTEST_SKIP() << "built without zlib";
+  const std::string text =
+      ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n";
+  const fs::path path = temp_file("roundtrip");
+  write_bytes(path, gzip_compress(text));
+  EXPECT_EQ(gunzip_file(path.string()), text);
+  fs::remove(path);
+}
+
+TEST(GzioTest, EmptyPayloadRoundTrips) {
+  if (!gzip_available()) GTEST_SKIP() << "built without zlib";
+  const fs::path path = temp_file("empty");
+  write_bytes(path, gzip_compress(""));
+  EXPECT_EQ(gunzip_file(path.string()), "");
+  fs::remove(path);
+}
+
+TEST(GzioTest, LargeIncompressiblePayloadRoundTrips) {
+  if (!gzip_available()) GTEST_SKIP() << "built without zlib";
+  std::string text;
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  for (int i = 0; i < 300000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    text.push_back(static_cast<char>(state >> 56));
+  }
+  const fs::path path = temp_file("large");
+  write_bytes(path, gzip_compress(text));
+  EXPECT_EQ(gunzip_file(path.string()), text);
+  fs::remove(path);
+}
+
+TEST(GzioTest, ConcatenatedMembersInflateLikeGzipD) {
+  if (!gzip_available()) GTEST_SKIP() << "built without zlib";
+  auto archive = gzip_compress("first half\n");
+  const auto second = gzip_compress("second half\n");
+  archive.insert(archive.end(), second.begin(), second.end());
+  const fs::path path = temp_file("members");
+  write_bytes(path, archive);
+  EXPECT_EQ(gunzip_file(path.string()), "first half\nsecond half\n");
+  fs::remove(path);
+}
+
+TEST(GzioTest, TrailingGarbageIsRejectedNamingTheFile) {
+  if (!gzip_available()) GTEST_SKIP() << "built without zlib";
+  auto archive = gzip_compress("payload\n");
+  const std::string junk = "not a gzip member";
+  archive.insert(archive.end(), junk.begin(), junk.end());
+  const fs::path path = temp_file("trailing");
+  write_bytes(path, archive);
+  const std::string message = gunzip_error(path);
+  EXPECT_NE(message.find(path.string()), std::string::npos) << message;
+  EXPECT_NE(message.find("trailing garbage"), std::string::npos) << message;
+  // Line-free: a corrupt archive has no lines to blame.
+  EXPECT_EQ(message.find("line"), std::string::npos) << message;
+  fs::remove(path);
+}
+
+TEST(GzioTest, TruncatedArchiveIsRejected) {
+  if (!gzip_available()) GTEST_SKIP() << "built without zlib";
+  auto archive = gzip_compress("a somewhat longer payload to truncate\n");
+  archive.resize(archive.size() - 6);  // cut into the CRC/length trailer
+  const fs::path path = temp_file("truncated");
+  write_bytes(path, archive);
+  const std::string message = gunzip_error(path);
+  EXPECT_NE(message.find(path.string()), std::string::npos) << message;
+  fs::remove(path);
+}
+
+TEST(GzioTest, CorruptBodyIsRejected) {
+  if (!gzip_available()) GTEST_SKIP() << "built without zlib";
+  auto archive = gzip_compress("the quick brown fox jumps over the lazy dog\n");
+  archive[archive.size() / 2] ^= 0xFF;
+  const fs::path path = temp_file("corrupt");
+  write_bytes(path, archive);
+  const std::string message = gunzip_error(path);
+  EXPECT_NE(message.find(path.string()), std::string::npos) << message;
+  fs::remove(path);
+}
+
+TEST(GzioTest, NonGzipFileIsRejectedAsBadMagic) {
+  if (!gzip_available()) GTEST_SKIP() << "built without zlib";
+  const fs::path path = temp_file("notgz");
+  const std::string text = ".model m\n.end\n";
+  write_bytes(path, std::vector<std::uint8_t>(text.begin(), text.end()));
+  const std::string message = gunzip_error(path);
+  EXPECT_NE(message.find("not a gzip archive"), std::string::npos) << message;
+  fs::remove(path);
+}
+
+TEST(GzioTest, MissingFileIsRejected) {
+  const fs::path path = temp_file("missing");
+  fs::remove(path);
+  if (!gzip_available()) {
+    // Even without zlib the error must name the file.
+    const std::string message = gunzip_error(path);
+    EXPECT_NE(message.find(path.string()), std::string::npos) << message;
+    return;
+  }
+  const std::string message = gunzip_error(path);
+  EXPECT_NE(message.find("cannot open"), std::string::npos) << message;
+}
+
+}  // namespace
+}  // namespace hyde::net

@@ -1,0 +1,236 @@
+/// Cross-process reuse of the persistent cache, driven through real
+/// `hyde_cli` child processes (HYDE_CLI_PATH is injected by CMake). Two
+/// invocations of the same flow against one --cache-dir must produce
+/// byte-identical BLIF output, and the second must report nonzero disk hits
+/// — the store's whole point is that a later process replays an earlier
+/// process's work.
+///
+/// The gzip input satellite is exercised the same way: `--in foo.blif.gz`
+/// must synthesize the identical network the uncompressed file does, and a
+/// trailing-garbage archive must be rejected with an error naming the file.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "net/gzio.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path temp_dir(const std::string& tag) {
+  const fs::path dir = fs::temp_directory_path() /
+                       ("hyde_xproc_" + tag + "_" +
+                        std::to_string(static_cast<long>(::getpid())));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// Runs hyde_cli with \p args, captures stdout+stderr into \p log_path, and
+/// returns the child's exit code (-1 when it did not exit normally).
+int run_cli(const std::string& args, const fs::path& log_path) {
+  const std::string command = std::string(HYDE_CLI_PATH) + " " + args + " > " +
+                              log_path.string() + " 2>&1";
+  const int status = std::system(command.c_str());
+  if (status == -1 || !WIFEXITED(status)) return -1;
+  return WEXITSTATUS(status);
+}
+
+std::string read_text(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Extracts N from the CLI's "store: N disk hits, ..." summary line;
+/// -1 when the line is missing.
+long disk_hits_in(const std::string& log) {
+  const std::string marker = "store: ";
+  const std::size_t at = log.find(marker);
+  if (at == std::string::npos) return -1;
+  return std::strtol(log.c_str() + at + marker.size(), nullptr, 10);
+}
+
+TEST(CrossProcessCacheTest, SecondProcessReplaysTheFirst) {
+  const fs::path dir = temp_dir("replay");
+  const fs::path cache = dir / "cache";
+  const fs::path out1 = dir / "out1.blif";
+  const fs::path out2 = dir / "out2.blif";
+  const fs::path log1 = dir / "log1.txt";
+  const fs::path log2 = dir / "log2.txt";
+
+  const std::string common =
+      "@rd73 -s hyde --no-verify --cache-dir " + cache.string();
+  ASSERT_EQ(run_cli(common + " -o " + out1.string(), log1), 0)
+      << read_text(log1);
+  ASSERT_EQ(run_cli(common + " -o " + out2.string(), log2), 0)
+      << read_text(log2);
+
+  const std::string blif1 = read_text(out1);
+  const std::string blif2 = read_text(out2);
+  ASSERT_FALSE(blif1.empty());
+  EXPECT_EQ(blif1, blif2) << "warm process must replay bit-identically";
+
+  // Run 1 is all misses, run 2 all disk hits.
+  EXPECT_EQ(disk_hits_in(read_text(log1)), 0) << read_text(log1);
+  EXPECT_GT(disk_hits_in(read_text(log2)), 0) << read_text(log2);
+
+  fs::remove_all(dir);
+}
+
+/// Extracts the replayed-job count from the summary's
+/// "..., N corrupt, M job replays (K committed)" tail; -1 when missing.
+long job_replays_in(const std::string& log) {
+  const std::string marker = "corrupt, ";
+  const std::size_t at = log.find(marker);
+  if (at == std::string::npos) return -1;
+  return std::strtol(log.c_str() + at + marker.size(), nullptr, 10);
+}
+
+TEST(CrossProcessCacheTest, SecondBatchProcessReplaysWholeJobs) {
+  const fs::path dir = temp_dir("batch");
+  const fs::path cache = dir / "cache";
+  const fs::path json1 = dir / "run1.json";
+  const fs::path json2 = dir / "run2.json";
+  const fs::path log1 = dir / "log1.txt";
+  const fs::path log2 = dir / "log2.txt";
+
+  const std::string common =
+      "--batch -s hyde --circuits rd73,misex1 --deterministic-json "
+      "--cache-dir " +
+      cache.string();
+  ASSERT_EQ(run_cli(common + " --json " + json1.string(), log1), 0)
+      << read_text(log1);
+  ASSERT_EQ(run_cli(common + " --json " + json2.string(), log2), 0)
+      << read_text(log2);
+
+  // The deterministic report subset must be byte-identical whether the jobs
+  // were synthesized or replayed from the store.
+  const std::string report1 = read_text(json1);
+  ASSERT_FALSE(report1.empty());
+  EXPECT_EQ(report1, read_text(json2));
+
+  EXPECT_EQ(job_replays_in(read_text(log1)), 0) << read_text(log1);
+  const std::string warm_log = read_text(log2);
+  EXPECT_GT(disk_hits_in(warm_log), 0) << warm_log;
+  EXPECT_GT(job_replays_in(warm_log), 0) << warm_log;
+
+  fs::remove_all(dir);
+}
+
+TEST(CrossProcessCacheTest, ReadonlyProcessHitsButAddsNothing) {
+  const fs::path dir = temp_dir("readonly");
+  const fs::path cache = dir / "cache";
+  const fs::path log1 = dir / "log1.txt";
+  const fs::path log2 = dir / "log2.txt";
+
+  ASSERT_EQ(run_cli("@rd73 -s hyde --no-verify --cache-dir " + cache.string(),
+                    log1),
+            0)
+      << read_text(log1);
+  std::uintmax_t size_before = 0;
+  for (const auto& entry : fs::directory_iterator(cache)) {
+    if (entry.is_regular_file()) size_before += entry.file_size();
+  }
+  ASSERT_EQ(run_cli("@rd73 -s hyde --no-verify --cache-readonly --cache-dir " +
+                        cache.string(),
+                    log2),
+            0)
+      << read_text(log2);
+  EXPECT_GT(disk_hits_in(read_text(log2)), 0);
+  std::uintmax_t size_after = 0;
+  for (const auto& entry : fs::directory_iterator(cache)) {
+    if (entry.is_regular_file()) size_after += entry.file_size();
+  }
+  EXPECT_EQ(size_after, size_before);
+
+  fs::remove_all(dir);
+}
+
+/// A small but non-trivial BLIF the gzip tests synthesize both ways.
+const char* kBlifText = R"(.model gztest
+.inputs a b c d e
+.outputs f g
+.names a b c x
+111 1
+100 1
+.names c d e y
+1-1 1
+011 1
+.names x y f
+11 1
+.names a x y g
+1-0 1
+011 1
+.end
+)";
+
+TEST(CrossProcessCacheTest, GzipInputMatchesPlainInput) {
+  if (!hyde::net::gzip_available()) {
+    GTEST_SKIP() << "built without zlib";
+  }
+  const fs::path dir = temp_dir("gz");
+  const fs::path plain = dir / "circuit.blif";
+  const fs::path gz = dir / "circuit.blif.gz";
+  { std::ofstream(plain.string()) << kBlifText; }
+  {
+    const auto archive = hyde::net::gzip_compress(kBlifText);
+    std::ofstream out(gz.string(), std::ios::binary);
+    out.write(reinterpret_cast<const char*>(archive.data()),
+              static_cast<std::streamsize>(archive.size()));
+  }
+
+  const fs::path out_plain = dir / "out_plain.blif";
+  const fs::path out_gz = dir / "out_gz.blif";
+  const fs::path log1 = dir / "log1.txt";
+  const fs::path log2 = dir / "log2.txt";
+  ASSERT_EQ(run_cli("--in " + plain.string() + " -o " + out_plain.string(),
+                    log1),
+            0)
+      << read_text(log1);
+  ASSERT_EQ(run_cli("--in " + gz.string() + " -o " + out_gz.string(), log2),
+            0)
+      << read_text(log2);
+  const std::string a = read_text(out_plain);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, read_text(out_gz));
+
+  fs::remove_all(dir);
+}
+
+TEST(CrossProcessCacheTest, TrailingGarbageArchiveIsRejectedByName) {
+  if (!hyde::net::gzip_available()) {
+    GTEST_SKIP() << "built without zlib";
+  }
+  const fs::path dir = temp_dir("gz_bad");
+  const fs::path gz = dir / "circuit.blif.gz";
+  {
+    const auto archive = hyde::net::gzip_compress(kBlifText);
+    std::ofstream out(gz.string(), std::ios::binary);
+    out.write(reinterpret_cast<const char*>(archive.data()),
+              static_cast<std::streamsize>(archive.size()));
+    out << "trailing junk";
+  }
+  const fs::path log = dir / "log.txt";
+  EXPECT_NE(run_cli("--in " + gz.string(), log), 0);
+  const std::string text = read_text(log);
+  // The error must name the file (there is no line number to give).
+  EXPECT_NE(text.find(gz.filename().string()), std::string::npos) << text;
+  EXPECT_NE(text.find("trailing garbage"), std::string::npos) << text;
+
+  fs::remove_all(dir);
+}
+
+}  // namespace
