@@ -910,6 +910,18 @@ int main(int argc, char** argv) {
                 stats.window_peak_nodes, stats.windows_resynthesized,
                 stats.windows_passthrough, stats.windows_budget_fallbacks,
                 stats.windows_split, stats.windows_verify_failures);
+    if (stats.window_workers > 0) {
+      std::printf("scheduling: %d workers, %d snapshots materialized on "
+                  "workers, %llu steals, busy %.3fs total / %.3fs peak\n",
+                  stats.window_workers, stats.windows_extract_parallel,
+                  static_cast<unsigned long long>(stats.window_steals),
+                  stats.window_worker_busy_seconds,
+                  stats.window_worker_busy_peak_seconds);
+    }
+    if (stats.window_max_index >= 0) {
+      std::printf("slowest window: #%d at %.3fs\n", stats.window_max_index,
+                  stats.window_max_seconds);
+    }
     if (window_disk != nullptr) {
       window_disk->flush();
       const store::StoreCounters sc = window_disk->counters();

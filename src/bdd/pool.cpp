@@ -1,19 +1,56 @@
 #include "bdd/pool.hpp"
 
+#include <algorithm>
+#include <functional>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 namespace hyde::bdd {
+
+ManagerPool::ManagerPool(std::size_t max_pooled, std::size_t slots)
+    : max_pooled_(max_pooled) {
+  slots_.resize(std::max<std::size_t>(1, slots));
+}
+
+std::size_t ManagerPool::slot_index() const {
+  // Thread ids are stable for a thread's lifetime, so the hash pins each
+  // worker to one slot; unrelated threads may share a slot, which only
+  // dilutes affinity, never correctness.
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+         slots_.size();
+}
+
+std::size_t ManagerPool::total_pooled() const {
+  std::size_t n = 0;
+  for (const auto& slot : slots_) n += slot.size();
+  return n;
+}
 
 std::unique_ptr<Manager> ManagerPool::acquire(int num_vars) {
   std::unique_ptr<Manager> mgr;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++acquires_;
-    if (!pool_.empty()) {
+    const std::size_t mine = slot_index();
+    if (!slots_[mine].empty()) {
       ++hits_;
-      mgr = std::move(pool_.back());
-      pool_.pop_back();
+      ++slot_hits_;
+      mgr = std::move(slots_[mine].back());
+      slots_[mine].pop_back();
+    } else {
+      // Affinity miss: take the deepest other slot's most recently parked
+      // manager rather than cold-starting.
+      std::size_t best = mine;
+      for (std::size_t s = 0; s < slots_.size(); ++s) {
+        if (slots_[s].empty()) continue;
+        if (best == mine || slots_[s].size() > slots_[best].size()) best = s;
+      }
+      if (best != mine) {
+        ++hits_;
+        mgr = std::move(slots_[best].back());
+        slots_[best].pop_back();
+      }
     }
   }
   if (mgr) {
@@ -37,11 +74,11 @@ void ManagerPool::release(std::unique_ptr<Manager> mgr) {
     return;
   }
   std::lock_guard<std::mutex> lock(mutex_);
-  if (pool_.size() >= max_pooled_) {
+  if (total_pooled() >= max_pooled_) {
     ++discards_;
     return;
   }
-  pool_.push_back(std::move(mgr));
+  slots_[slot_index()].push_back(std::move(mgr));
 }
 
 ManagerPoolStats ManagerPool::stats() const {
@@ -49,8 +86,9 @@ ManagerPoolStats ManagerPool::stats() const {
   ManagerPoolStats s;
   s.acquires = acquires_;
   s.hits = hits_;
+  s.slot_hits = slot_hits_;
   s.discards = discards_;
-  s.pooled = pool_.size();
+  s.pooled = total_pooled();
   return s;
 }
 

@@ -1,6 +1,6 @@
 /// \file pool.hpp
 /// \brief A pool of warmed bdd::Manager instances recycled across flow
-/// invocations.
+/// invocations, with thread-sticky slots.
 ///
 /// Constructing a Manager from scratch pays for node-store growth,
 /// unique-table rehashes and computed-table allocation all over again; a
@@ -9,9 +9,18 @@
 /// flow — reset via Manager::reset, which retains the node-store capacity,
 /// the unique-table bucket count and the computed-table slots while wiping
 /// contents, counters and governance knobs — and hands them to the next
-/// invocation. Acquire/release are mutex-protected; the managers themselves
+/// invocation.
+///
+/// Parked managers live in **slots keyed by the releasing thread**: a worker
+/// that releases a manager gets the same (cache- and NUMA-warm) manager back
+/// on its next acquire instead of whichever one another worker parked last,
+/// so warmed managers stop ping-ponging between threads. A thread whose slot
+/// is empty falls back to any other slot's parked manager before
+/// constructing a fresh one — affinity is a preference, never a reason to
+/// cold-start. Acquire/release are mutex-protected; the managers themselves
 /// are never shared between threads concurrently (each flow owns its manager
-/// exclusively, exactly as with a stack-local Manager).
+/// exclusively, exactly as with a stack-local Manager). Slot choice affects
+/// only which warm arena a flow reuses, never its results.
 ///
 /// A manager released while external handles are still outstanding cannot be
 /// recycled (Manager::reset throws); destroying it would dangle those
@@ -23,6 +32,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -35,41 +45,49 @@ namespace hyde::bdd {
 struct ManagerPoolStats {
   std::uint64_t acquires = 0;   ///< total acquire calls
   std::uint64_t hits = 0;       ///< acquires served by a recycled manager
+  std::uint64_t slot_hits = 0;  ///< hits served by the caller's own slot
   std::uint64_t discards = 0;   ///< releases that could not be recycled
   std::size_t pooled = 0;       ///< managers currently parked in the pool
 };
 
 class ManagerPool {
  public:
-  /// \p max_pooled caps how many idle managers are parked; releases beyond
-  /// the cap destroy the manager (counted as a discard).
-  explicit ManagerPool(std::size_t max_pooled = 16)
-      : max_pooled_(max_pooled) {}
+  /// \p max_pooled caps how many idle managers are parked across all slots;
+  /// releases beyond the cap destroy the manager (counted as a discard).
+  /// \p slots is the number of thread-sticky park lists; concurrent callers
+  /// beyond that simply share slots.
+  explicit ManagerPool(std::size_t max_pooled = 16, std::size_t slots = 8);
 
   ManagerPool(const ManagerPool&) = delete;
   ManagerPool& operator=(const ManagerPool&) = delete;
 
-  /// A warmed manager sized for \p num_vars variables, or a fresh one when
-  /// the pool is empty.
+  /// A warmed manager sized for \p num_vars variables — preferring one the
+  /// calling thread parked earlier — or a fresh one when every slot is empty.
   std::unique_ptr<Manager> acquire(int num_vars);
 
-  /// Returns a manager to the pool. The caller must have dropped every
-  /// handle first; a manager with outstanding handles is condemned (kept
-  /// alive, never recycled) and one past the pool cap is destroyed — both
-  /// count as discards.
+  /// Returns a manager to the calling thread's slot. The caller must have
+  /// dropped every handle first; a manager with outstanding handles is
+  /// condemned (kept alive, never recycled) and one past the pool cap is
+  /// destroyed — both count as discards.
   void release(std::unique_ptr<Manager> mgr);
 
   ManagerPoolStats stats() const;
 
  private:
+  /// The calling thread's sticky slot index (stable per thread).
+  std::size_t slot_index() const;
+  std::size_t total_pooled() const;  // requires mutex_
+
   const std::size_t max_pooled_;
   mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<Manager>> pool_;
+  /// Parked managers, one LIFO list per thread-sticky slot.
+  std::vector<std::vector<std::unique_ptr<Manager>>> slots_;
   /// Managers released with outstanding handles: unusable, but destroying
   /// them would invalidate those handles. Freed with the pool.
   std::vector<std::unique_ptr<Manager>> condemned_;
   std::uint64_t acquires_ = 0;
   std::uint64_t hits_ = 0;
+  std::uint64_t slot_hits_ = 0;
   std::uint64_t discards_ = 0;
 };
 

@@ -201,6 +201,17 @@ struct FlowStats {
   double window_extract_seconds = 0.0;  ///< volatile wall clock
   double window_stitch_seconds = 0.0;   ///< volatile wall clock
 
+  // Windowed scheduling telemetry (volatile: thread count, steal pattern and
+  // wall clock all vary run to run — keep these out of any determinism
+  // checksum).
+  int windows_extract_parallel = 0;  ///< snapshots materialized on workers
+  std::uint64_t window_steals = 0;   ///< tasks stolen across worker deques
+  int window_workers = 0;            ///< scheduler workers (0 = serial path)
+  double window_worker_busy_seconds = 0.0;       ///< summed worker busy time
+  double window_worker_busy_peak_seconds = 0.0;  ///< busiest single worker
+  double window_max_seconds = 0.0;  ///< slowest single window, wall clock
+  int window_max_index = -1;        ///< extraction index of that window
+
   // Per-phase wall-clock breakdown (volatile; seconds). varpart is the
   // bound-set search engine's self-timed total, classes covers
   // compatible-class computation, encoding is encoder wall time net of the

@@ -271,6 +271,67 @@ Window make_window(const net::Network& host, std::vector<net::NodeId> members,
   return w;
 }
 
+bool snapshot_window(const net::Network& host, const Window& window,
+                     WindowSnapshot* out) {
+  for (net::NodeId m : window.members) {
+    if (static_cast<int>(host.node(m).fanins.size()) >
+        tt::TruthTable::kMaxVars) {
+      return false;
+    }
+  }
+  out->model_name = host.model_name() + "_w" + std::to_string(window.index);
+  out->input_names.clear();
+  out->members.clear();
+  out->roots.clear();
+  std::unordered_map<net::NodeId, int> signal_index;
+  out->input_names.reserve(window.inputs.size());
+  for (net::NodeId i : window.inputs) {
+    signal_index.emplace(i, static_cast<int>(signal_index.size()));
+    out->input_names.push_back(host.node(i).name);
+  }
+  out->members.reserve(window.members.size());
+  for (net::NodeId m : window.members) {
+    const net::Node& n = host.node(m);
+    WindowSnapshot::Member member;
+    member.name = n.name;
+    member.fanins.reserve(n.fanins.size());
+    for (net::NodeId f : n.fanins) member.fanins.push_back(signal_index.at(f));
+    member.function = host.local_tt(m);
+    signal_index.emplace(m, static_cast<int>(signal_index.size()));
+    out->members.push_back(std::move(member));
+  }
+  const int num_inputs = static_cast<int>(window.inputs.size());
+  out->roots.reserve(window.roots.size());
+  for (net::NodeId r : window.roots) {
+    out->roots.push_back(signal_index.at(r) - num_inputs);
+  }
+  return true;
+}
+
+net::Network materialize_snapshot(const WindowSnapshot& snapshot) {
+  net::Network sub(snapshot.model_name);
+  std::vector<net::NodeId> signal_ids;
+  signal_ids.reserve(snapshot.input_names.size() + snapshot.members.size());
+  for (const std::string& name : snapshot.input_names) {
+    signal_ids.push_back(sub.add_input(name));
+  }
+  for (const WindowSnapshot::Member& m : snapshot.members) {
+    std::vector<net::NodeId> fanins;
+    fanins.reserve(m.fanins.size());
+    for (int f : m.fanins) {
+      fanins.push_back(signal_ids[static_cast<std::size_t>(f)]);
+    }
+    signal_ids.push_back(sub.add_logic_tt(m.name, std::move(fanins),
+                                          m.function));
+  }
+  const std::size_t num_inputs = snapshot.input_names.size();
+  for (int r : snapshot.roots) {
+    sub.add_output(snapshot.members[static_cast<std::size_t>(r)].name,
+                   signal_ids[num_inputs + static_cast<std::size_t>(r)]);
+  }
+  return sub;
+}
+
 net::Network window_subnetwork(const net::Network& host, const Window& window) {
   net::Network sub(host.model_name() + "_w" + std::to_string(window.index));
   std::unordered_map<net::NodeId, net::NodeId> host_to_sub;

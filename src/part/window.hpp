@@ -88,4 +88,41 @@ Window make_window(const net::Network& host, std::vector<net::NodeId> members,
 /// functions, roots become POs named after the host nodes they re-implement.
 net::Network window_subnetwork(const net::Network& host, const Window& window);
 
+/// Self-contained, manager-free capture of a window's standalone
+/// sub-network: boundary names, member wiring and local functions as truth
+/// tables. Plain data — no BDD handles, no reference into the host — so a
+/// snapshot can be materialized on any worker thread without touching the
+/// host network or its (non-atomic-refcount) manager.
+struct WindowSnapshot {
+  std::string model_name;
+  /// PI names in Window::inputs order.
+  std::vector<std::string> input_names;
+  struct Member {
+    std::string name;
+    /// Fanins as signal indices: [0, input_names.size()) are the PIs, then
+    /// earlier members offset by input_names.size().
+    std::vector<int> fanins;
+    /// Local function over the fanins (var i == fanins[i]).
+    tt::TruthTable function;
+  };
+  /// Members in Window::members (topological) order.
+  std::vector<Member> members;
+  /// PO drivers as member indices, in Window::roots order.
+  std::vector<int> roots;
+};
+
+/// Captures \p window as plain data, reading the host's BDDs (serialize
+/// against other host-manager users — typically called from the single
+/// up-front extraction pass). Returns false when some member's fanin count
+/// exceeds tt::TruthTable::kMaxVars; such a window must be cloned with
+/// window_subnetwork instead.
+bool snapshot_window(const net::Network& host, const Window& window,
+                     WindowSnapshot* out);
+
+/// Materializes a snapshot as a standalone network with its own manager —
+/// the same network window_subnetwork builds from the snapshot's source
+/// (names, wiring, functions and output order all identical), but computed
+/// from plain data, so it is safe on any thread.
+net::Network materialize_snapshot(const WindowSnapshot& snapshot);
+
 }  // namespace hyde::part

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <exception>
-#include <mutex>
 #include <new>
 #include <stdexcept>
 #include <string>
@@ -25,7 +25,8 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 }
 
 /// One stitchable unit: a (possibly split-descendant) window either carrying
-/// its resynthesized sub-network or marked pass-through.
+/// its resynthesized sub-network or marked pass-through. The window's ids are
+/// host ids — stitching never needs the worker-side materialization.
 struct StitchPiece {
   Window window;
   bool resynthesized = false;
@@ -37,6 +38,24 @@ struct StitchPiece {
 struct WindowOutcome {
   std::vector<StitchPiece> pieces;
   core::FlowStats stats;
+  /// Wall-clock for the whole job (materialization, flow, splits, verify).
+  double seconds = 0.0;
+};
+
+/// Everything a worker needs to resynthesize one window without touching the
+/// host network or its manager: the host-id window (for stitching and split
+/// bookkeeping) and a self-contained capture of its sub-network. The capture
+/// is a plain-data snapshot in the common case; a member too wide for a
+/// truth table (> tt::TruthTable::kMaxVars fanins) forces a prebuilt clone
+/// with its own manager, built during the serial extraction pass.
+struct WindowTask {
+  std::size_t slot = 0;  ///< outcome index (== window index)
+  Window window;
+  WindowSnapshot snapshot;
+  net::Network prebuilt{"unmapped"};
+  bool has_prebuilt = false;
+  /// Scheduling estimate: node count x support width.
+  std::uint64_t cost = 0;
 };
 
 /// Folds a per-window flow's counters into the engine totals (mirrors the
@@ -58,29 +77,52 @@ void accumulate_flow_stats(core::FlowStats* into, const core::FlowStats& s) {
   into->absorb_search_and_phases(s);
 }
 
-/// Resynthesizes one window, splitting on budget blowouts. Returns the final
-/// pieces in topological order; never throws for a budget reason.
-///
-/// \p host_mutex serializes sub-network extraction: cloning a window reads
-/// the host's BDDs, and even read-only BDD handle traffic bumps non-atomic
-/// reference counts in the host manager. Everything after extraction runs on
-/// the window's own manager, shared-nothing. Null means single-threaded.
-WindowOutcome resynthesize_window(const net::Network& host, Window window,
+/// Folds a nested outcome's full counter set (flow counters plus the
+/// windows_* bookkeeping) into an enclosing outcome or the engine totals.
+void fold_outcome_stats(core::FlowStats* into, const core::FlowStats& s) {
+  accumulate_flow_stats(into, s);
+  into->windows_resynthesized += s.windows_resynthesized;
+  into->windows_passthrough += s.windows_passthrough;
+  into->windows_budget_fallbacks += s.windows_budget_fallbacks;
+  into->windows_split += s.windows_split;
+  into->windows_verify_failures += s.windows_verify_failures;
+  into->windows_extract_parallel += s.windows_extract_parallel;
+}
+
+WindowOutcome resynthesize_window(const net::Network& sub, Window window,
                                   const WindowedFlowOptions& options,
-                                  int depth, std::mutex* host_mutex) {
-  WindowOutcome outcome;
-  if (!window.needs_resynthesis || window.roots.empty()) {
+                                  int depth);
+
+/// Handles one split half: pass-through when it needs no work, otherwise
+/// clones the half out of the parent's already-materialized sub-network
+/// (never the host) and recurses. \p sub_half is the half's window over
+/// parent-sub ids; \p host_half is the same window translated to host ids.
+WindowOutcome resynthesize_half(const net::Network& parent_sub,
+                                const Window& sub_half, Window host_half,
+                                const WindowedFlowOptions& options,
+                                int depth) {
+  if (!host_half.needs_resynthesis || host_half.roots.empty()) {
+    WindowOutcome outcome;
     outcome.stats.windows_passthrough += 1;
-    outcome.pieces.push_back(StitchPiece{std::move(window), false,
-                                         net::Network("unmapped")});
+    outcome.pieces.push_back(
+        StitchPiece{std::move(host_half), false, net::Network("unmapped")});
     return outcome;
   }
+  const net::Network half_sub = window_subnetwork(parent_sub, sub_half);
+  return resynthesize_window(half_sub, std::move(host_half), options, depth);
+}
 
-  const net::Network sub = [&] {  // hyde-locked(host_mutex)
-    std::unique_lock<std::mutex> lock;
-    if (host_mutex != nullptr) lock = std::unique_lock<std::mutex>(*host_mutex);
-    return window_subnetwork(host, window);
-  }();
+/// Resynthesizes one window from its standalone sub-network, splitting on
+/// budget blowouts; never throws for a budget reason. \p sub mirrors
+/// \p window exactly — node id j < window.inputs.size() is the image of
+/// window.inputs[j], id inputs.size()+i the image of window.members[i]
+/// (window_subnetwork and materialize_snapshot both build in that order) —
+/// so split recursion re-extracts from \p sub and translates ids back,
+/// keeping the host untouched on worker threads.
+WindowOutcome resynthesize_window(const net::Network& sub, Window window,
+                                  const WindowedFlowOptions& options,
+                                  int depth) {
+  WindowOutcome outcome;
   core::FlowOptions flow_options = options.flow;
   flow_options.bdd_node_limit = options.window_bdd_budget;
   bool blew_budget = false;
@@ -97,29 +139,50 @@ WindowOutcome resynthesize_window(const net::Network& host, Window window,
     outcome.stats.windows_budget_fallbacks += 1;
     if (depth < options.max_split_depth && window.members.size() >= 2) {
       // Halve along the member interval: topological halves of a convex
-      // window stay convex, so the pieces remain stitchable in order.
+      // window stay convex, so the pieces remain stitchable in order. Host
+      // and sub member lists run in lockstep (sub id = inputs + position),
+      // so the halves are formed once over sub ids and translated back.
       outcome.stats.windows_split += 1;
       const std::size_t mid = window.members.size() / 2;
-      std::vector<net::NodeId> lo(window.members.begin(),
-                                  window.members.begin() +
-                                      static_cast<std::ptrdiff_t>(mid));
-      std::vector<net::NodeId> hi(window.members.begin() +
-                                      static_cast<std::ptrdiff_t>(mid),
-                                  window.members.end());
-      for (auto* half : {&lo, &hi}) {
-        WindowOutcome part = resynthesize_window(
-            host, make_window(host, std::move(*half), window.index,
-                              options.flow.k),
-            options, depth + 1, host_mutex);
-        accumulate_flow_stats(&outcome.stats, part.stats);
-        outcome.stats.windows_passthrough += part.stats.windows_passthrough;
-        outcome.stats.windows_resynthesized +=
-            part.stats.windows_resynthesized;
-        outcome.stats.windows_budget_fallbacks +=
-            part.stats.windows_budget_fallbacks;
-        outcome.stats.windows_split += part.stats.windows_split;
-        outcome.stats.windows_verify_failures +=
-            part.stats.windows_verify_failures;
+      const net::NodeId member_base =
+          static_cast<net::NodeId>(window.inputs.size());
+      std::vector<net::NodeId> sub_to_host(
+          window.inputs.size() + window.members.size(), net::kNoNode);
+      for (std::size_t j = 0; j < window.inputs.size(); ++j) {
+        sub_to_host[j] = window.inputs[j];
+      }
+      for (std::size_t i = 0; i < window.members.size(); ++i) {
+        sub_to_host[window.inputs.size() + i] = window.members[i];
+      }
+      const auto translate = [&sub_to_host](const std::vector<net::NodeId>& v) {
+        std::vector<net::NodeId> host_ids;
+        host_ids.reserve(v.size());
+        for (net::NodeId id : v) {
+          host_ids.push_back(sub_to_host[static_cast<std::size_t>(id)]);
+        }
+        return host_ids;
+      };
+      for (const auto& range :
+           {std::pair<std::size_t, std::size_t>{0, mid},
+            std::pair<std::size_t, std::size_t>{mid, window.members.size()}}) {
+        std::vector<net::NodeId> sub_members;
+        sub_members.reserve(range.second - range.first);
+        for (std::size_t i = range.first; i < range.second; ++i) {
+          sub_members.push_back(member_base + static_cast<net::NodeId>(i));
+        }
+        const Window sub_half = make_window(sub, std::move(sub_members),
+                                            window.index, options.flow.k);
+        Window host_half;
+        host_half.index = sub_half.index;
+        host_half.needs_resynthesis = sub_half.needs_resynthesis;
+        host_half.over_budget = sub_half.over_budget;
+        host_half.members = translate(sub_half.members);
+        host_half.inputs = translate(sub_half.inputs);
+        host_half.roots = translate(sub_half.roots);
+        WindowOutcome part = resynthesize_half(sub, sub_half,
+                                               std::move(host_half), options,
+                                               depth + 1);
+        fold_outcome_stats(&outcome.stats, part.stats);
         for (StitchPiece& piece : part.pieces) {
           outcome.pieces.push_back(std::move(piece));
         }
@@ -127,8 +190,8 @@ WindowOutcome resynthesize_window(const net::Network& host, Window window,
       return outcome;
     }
     outcome.stats.windows_passthrough += 1;
-    outcome.pieces.push_back(StitchPiece{std::move(window), false,
-                                         net::Network("unmapped")});
+    outcome.pieces.push_back(
+        StitchPiece{std::move(window), false, net::Network("unmapped")});
     return outcome;
   }
 
@@ -142,16 +205,15 @@ WindowOutcome resynthesize_window(const net::Network& host, Window window,
   }
 
   if (options.verify_windows) {
-    const bool ok =
-        net::check_equivalence(sub, flow.network).equivalent;
+    const bool ok = net::check_equivalence(sub, flow.network).equivalent;
     if (!ok) {
       // A failed local check means a bug somewhere upstream; degrade to
       // pass-through (counted, never silently wrong) instead of stitching a
       // bad window into the result.
       outcome.stats.windows_verify_failures += 1;
       outcome.stats.windows_passthrough += 1;
-      outcome.pieces.push_back(StitchPiece{std::move(window), false,
-                                           net::Network("unmapped")});
+      outcome.pieces.push_back(
+          StitchPiece{std::move(window), false, net::Network("unmapped")});
       return outcome;
     }
   }
@@ -159,6 +221,24 @@ WindowOutcome resynthesize_window(const net::Network& host, Window window,
   outcome.stats.windows_resynthesized += 1;
   outcome.pieces.push_back(
       StitchPiece{std::move(window), true, std::move(flow.network)});
+  return outcome;
+}
+
+/// Runs one window task end to end on the calling thread: materialize the
+/// captured sub-network, resynthesize, time the whole job for the per-window
+/// high-water mark. Touches nothing but the task and its own materialization.
+WindowOutcome run_window_task(WindowTask& task,
+                              const WindowedFlowOptions& options,
+                              bool on_worker) {
+  const auto start = std::chrono::steady_clock::now();
+  net::Network sub = task.has_prebuilt ? std::move(task.prebuilt)
+                                       : materialize_snapshot(task.snapshot);
+  WindowOutcome outcome =
+      resynthesize_window(sub, std::move(task.window), options, 0);
+  if (!task.has_prebuilt && on_worker) {
+    outcome.stats.windows_extract_parallel += 1;
+  }
+  outcome.seconds = seconds_since(start);
   return outcome;
 }
 
@@ -226,7 +306,8 @@ void stitch_resynthesized(const net::Network& host, const StitchPiece& piece,
         bdd::transfer(n.local, result->manager(), var_map));
   }
   // Sub-network POs were declared in window.roots order by
-  // window_subnetwork, and run_flow plus the mapper preserve output order.
+  // window_subnetwork/materialize_snapshot, and run_flow plus the mapper
+  // preserve output order.
   for (std::size_t j = 0; j < window.roots.size(); ++j) {
     (*host_to_result)[static_cast<std::size_t>(window.roots[j])] =
         mapped_to_result[static_cast<std::size_t>(
@@ -245,7 +326,6 @@ WindowedFlowResult run_windowed_flow(const net::Network& input,
   window_options.k = options.flow.k;
   const auto extract_start = std::chrono::steady_clock::now();
   const std::vector<Window> windows = extract_windows(input, window_options);
-  stats.window_extract_seconds = seconds_since(extract_start);
   stats.windows_extracted = static_cast<int>(windows.size());
   for (const Window& w : windows) {
     stats.window_peak_inputs =
@@ -254,34 +334,74 @@ WindowedFlowResult run_windowed_flow(const net::Network& input,
         std::max(stats.window_peak_nodes, static_cast<int>(w.members.size()));
   }
 
-  // Per-window resynthesis: shared-nothing jobs, results slotted by window
-  // index so every downstream step is schedule-independent.
+  // Snapshot pass: one serial sweep over the host materializes every
+  // resynthesis candidate as a self-contained task — plain-data snapshot in
+  // the common case, a prebuilt clone when a member is too wide for a truth
+  // table. This is the only phase that reads host BDDs (their handle
+  // reference counts are not atomic); workers get handed the tasks and
+  // never touch the host or a shared lock.
   std::vector<WindowOutcome> outcomes(windows.size());
-  if (options.threads <= 1) {
-    for (std::size_t i = 0; i < windows.size(); ++i) {
-      outcomes[i] = resynthesize_window(input, windows[i], options, 0, nullptr);
+  std::vector<WindowTask> tasks;
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const Window& w = windows[i];
+    if (!w.needs_resynthesis || w.roots.empty()) {
+      outcomes[i].stats.windows_passthrough += 1;
+      outcomes[i].pieces.push_back(
+          StitchPiece{w, false, net::Network("unmapped")});
+      continue;
+    }
+    WindowTask task;
+    task.slot = i;
+    task.window = w;
+    if (!snapshot_window(input, w, &task.snapshot)) {
+      task.prebuilt = window_subnetwork(input, w);
+      task.has_prebuilt = true;
+    }
+    task.cost = static_cast<std::uint64_t>(w.members.size()) *
+                std::max<std::uint64_t>(1, w.inputs.size());
+    tasks.push_back(std::move(task));
+  }
+  stats.window_extract_seconds = seconds_since(extract_start);
+
+  // Worker count auto-clamps to the real resynthesis workload: no point
+  // spinning up threads (or a scheduler at all) for fewer tasks than asked.
+  const int effective_threads =
+      std::min(options.threads, static_cast<int>(tasks.size()));
+  if (effective_threads <= 1) {
+    for (WindowTask& task : tasks) {
+      outcomes[task.slot] = run_window_task(task, options, /*on_worker=*/false);
     }
   } else {
-    // Host-manager gate: window extraction reads host BDDs, whose handle
-    // reference counts are not atomic. Flows themselves stay lock-free.
-    std::mutex host_mutex;
-    std::vector<std::exception_ptr> errors(windows.size());
+    std::vector<std::exception_ptr> errors(tasks.size());
+    runtime::SchedulerStats sched;
     {
-      runtime::JobScheduler pool(options.threads);
-      for (std::size_t i = 0; i < windows.size(); ++i) {
-        pool.submit([&, i] {
-          try {
-            outcomes[i] =
-                resynthesize_window(input, windows[i], options, 0, &host_mutex);
-          } catch (...) {
-            errors[i] = std::current_exception();
-          }
-        });
+      runtime::JobScheduler pool(effective_threads);
+      std::vector<runtime::OrderedTask> jobs;
+      jobs.reserve(tasks.size());
+      for (std::size_t t = 0; t < tasks.size(); ++t) {
+        jobs.push_back(runtime::OrderedTask{
+            tasks[t].cost, [&tasks, &outcomes, &errors, &options, t] {
+              try {
+                outcomes[tasks[t].slot] =
+                    run_window_task(tasks[t], options, /*on_worker=*/true);
+              } catch (...) {
+                errors[t] = std::current_exception();
+              }
+            }});
       }
+      pool.submit_ordered(std::move(jobs));
       pool.wait_idle();
+      sched = pool.stats();
     }
     for (const std::exception_ptr& e : errors) {
       if (e) std::rethrow_exception(e);
+    }
+    stats.window_steals = sched.steals;
+    stats.window_workers = static_cast<int>(sched.workers.size());
+    for (const runtime::WorkerUtilization& u : sched.workers) {
+      stats.window_worker_busy_seconds += u.busy_seconds;
+      stats.window_worker_busy_peak_seconds =
+          std::max(stats.window_worker_busy_peak_seconds, u.busy_seconds);
     }
   }
 
@@ -296,13 +416,13 @@ WindowedFlowResult run_windowed_flow(const net::Network& input,
     host_to_result[static_cast<std::size_t>(pi)] =
         out.add_input(input.node(pi).name);
   }
-  for (WindowOutcome& outcome : outcomes) {
-    accumulate_flow_stats(&stats, outcome.stats);
-    stats.windows_resynthesized += outcome.stats.windows_resynthesized;
-    stats.windows_passthrough += outcome.stats.windows_passthrough;
-    stats.windows_budget_fallbacks += outcome.stats.windows_budget_fallbacks;
-    stats.windows_split += outcome.stats.windows_split;
-    stats.windows_verify_failures += outcome.stats.windows_verify_failures;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    WindowOutcome& outcome = outcomes[i];
+    fold_outcome_stats(&stats, outcome.stats);
+    if (outcome.seconds > stats.window_max_seconds) {
+      stats.window_max_seconds = outcome.seconds;
+      stats.window_max_index = static_cast<int>(i);
+    }
     for (const StitchPiece& piece : outcome.pieces) {
       if (piece.resynthesized) {
         stitch_resynthesized(input, piece, &out, &host_to_result);

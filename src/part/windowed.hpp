@@ -7,12 +7,18 @@
 /// each window that contains wide nodes — every window gets its own
 /// `bdd::Manager` via its standalone sub-network, shared-nothing — and
 /// stitches the per-window results back together in a deterministic,
-/// topological-order merge. Window-level parallelism runs on
-/// `runtime::JobScheduler`; results are collected by window index, so the
-/// stitched network is bit-identical at every thread count. The only shared
-/// state workers touch is the host network during sub-network extraction
-/// (host BDD handle refcounts are not atomic), which a mutex serializes;
-/// the flows themselves run lock-free on their private managers.
+/// topological-order merge. A single up-front extraction pass captures every
+/// resynthesis candidate as a self-contained task (a plain-data
+/// `WindowSnapshot`, or a prebuilt clone when a member is too wide for a
+/// truth table), so workers materialize and resynthesize without ever
+/// touching the host network, its manager, or any shared lock; split
+/// fallback re-extracts from the worker's own materialized sub-network.
+/// Window-level parallelism runs on `runtime::JobScheduler` via its
+/// cost-ordered submit path (longest-processing-time placement plus work
+/// stealing); results are collected by window index, so the stitched network
+/// is bit-identical at every thread count and steal pattern. The worker
+/// count auto-clamps to the number of resynthesis tasks, and a run with at
+/// most one such task skips the scheduler entirely.
 ///
 /// Memory governance: each window flow runs under a BDD node budget. A
 /// window that blows past it is split in half (topological halves stay

@@ -254,6 +254,18 @@ RunReport run_batch(const std::vector<BatchJob>& jobs,
         std::max(report.windows.peak_inputs, job.stats.window_peak_inputs);
     report.windows.peak_nodes =
         std::max(report.windows.peak_nodes, job.stats.window_peak_nodes);
+    report.windows.extract_parallel +=
+        static_cast<std::uint64_t>(job.stats.windows_extract_parallel);
+    report.windows.steals += job.stats.window_steals;
+    report.windows.workers =
+        std::max(report.windows.workers, job.stats.window_workers);
+    report.windows.worker_busy_seconds += job.stats.window_worker_busy_seconds;
+    report.windows.worker_busy_peak_seconds =
+        std::max(report.windows.worker_busy_peak_seconds,
+                 job.stats.window_worker_busy_peak_seconds);
+    report.windows.max_window_seconds =
+        std::max(report.windows.max_window_seconds,
+                 job.stats.window_max_seconds);
   }
   report.cache.unique_functions = cache.size();
   const NpnCacheCounters counters = cache.counters();

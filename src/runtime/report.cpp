@@ -90,6 +90,16 @@ std::string to_json(const RunReport& report, bool include_volatile) {
            std::to_string(report.windows.verify_failures);
     out += ", \"peak_inputs\": " + std::to_string(report.windows.peak_inputs);
     out += ", \"peak_nodes\": " + std::to_string(report.windows.peak_nodes);
+    out += ", \"extract_parallel\": " +
+           std::to_string(report.windows.extract_parallel);
+    out += ", \"steals\": " + std::to_string(report.windows.steals);
+    out += ", \"workers\": " + std::to_string(report.windows.workers);
+    out += ", \"worker_busy_seconds\": " +
+           format_double(report.windows.worker_busy_seconds);
+    out += ", \"worker_busy_peak_seconds\": " +
+           format_double(report.windows.worker_busy_peak_seconds);
+    out += ", \"max_window_seconds\": " +
+           format_double(report.windows.max_window_seconds);
     out += "},\n";
     out += "  \"store\": {";
     out += std::string("\"enabled\": ") +
@@ -216,6 +226,18 @@ std::string to_json(const RunReport& report, bool include_volatile) {
              format_double(job.stats.window_extract_seconds);
       out += ", \"stitch_seconds\": " +
              format_double(job.stats.window_stitch_seconds);
+      out += ", \"extract_parallel\": " +
+             std::to_string(job.stats.windows_extract_parallel);
+      out += ", \"steals\": " + std::to_string(job.stats.window_steals);
+      out += ", \"workers\": " + std::to_string(job.stats.window_workers);
+      out += ", \"worker_busy_seconds\": " +
+             format_double(job.stats.window_worker_busy_seconds);
+      out += ", \"worker_busy_peak_seconds\": " +
+             format_double(job.stats.window_worker_busy_peak_seconds);
+      out += ", \"max_window_seconds\": " +
+             format_double(job.stats.window_max_seconds);
+      out += ", \"max_window_index\": " +
+             std::to_string(job.stats.window_max_index);
       out += "}";
       out += ",\n      \"store\": {";
       out += "\"disk_hits\": " + std::to_string(job.stats.store_disk_hits);
@@ -253,6 +275,7 @@ std::string to_csv(const RunReport& report) {
       "class_signature_pairs,class_bdd_pairs,encoder_parallel_tasks,"
       "windows_extracted,windows_resynthesized,windows_passthrough,"
       "windows_budget_fallbacks,windows_split,windows_verify_failures,"
+      "windows_extract_parallel,window_steals,window_max_seconds,"
       "store_disk_hits,store_disk_misses\n";
   for (const JobReport& job : report.jobs) {
     out += job.circuit + "," + job.system + "," + std::to_string(job.k) + "," +
@@ -289,6 +312,9 @@ std::string to_csv(const RunReport& report) {
            std::to_string(job.stats.windows_budget_fallbacks) + "," +
            std::to_string(job.stats.windows_split) + "," +
            std::to_string(job.stats.windows_verify_failures) + "," +
+           std::to_string(job.stats.windows_extract_parallel) + "," +
+           std::to_string(job.stats.window_steals) + "," +
+           format_double(job.stats.window_max_seconds) + "," +
            std::to_string(job.stats.store_disk_hits) + "," +
            std::to_string(job.stats.store_disk_misses) + "\n";
   }

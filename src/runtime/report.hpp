@@ -140,6 +140,14 @@ struct WindowsReport {
   std::uint64_t verify_failures = 0;
   int peak_inputs = 0;  ///< max over jobs
   int peak_nodes = 0;   ///< max over jobs
+  // Scheduling telemetry (genuinely volatile: thread count, steal pattern
+  // and wall clock).
+  std::uint64_t extract_parallel = 0;  ///< snapshots materialized on workers
+  std::uint64_t steals = 0;            ///< window tasks stolen across deques
+  int workers = 0;                     ///< max scheduler workers over jobs
+  double worker_busy_seconds = 0.0;       ///< summed worker busy time
+  double worker_busy_peak_seconds = 0.0;  ///< busiest single worker, max over jobs
+  double max_window_seconds = 0.0;  ///< slowest single window over the batch
 };
 
 struct RunReport {

@@ -1,14 +1,20 @@
 #include "runtime/scheduler.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <utility>
 
 namespace hyde::runtime {
 
 JobScheduler::JobScheduler(int num_workers) {
   const int n = std::max(1, num_workers);
+  deques_.resize(static_cast<std::size_t>(n));
+  deque_cost_.assign(static_cast<std::size_t>(n), 0);
+  utilization_.resize(static_cast<std::size_t>(n));
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back(
+        [this, i] { worker_loop(static_cast<std::size_t>(i)); });
   }
 }
 
@@ -25,36 +31,128 @@ void JobScheduler::submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    ++submitted_;
   }
   work_cv_.notify_one();
 }
 
-void JobScheduler::wait_idle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+void JobScheduler::submit_ordered(std::vector<OrderedTask> tasks) {
+  // Stable sort keeps submission order among equal costs, so the dealt
+  // layout — and with it the steal pattern — is a pure function of the
+  // (cost, index) sequence, never of timing.
+  std::stable_sort(tasks.begin(), tasks.end(),
+                   [](const OrderedTask& a, const OrderedTask& b) {
+                     return a.cost > b.cost;
+                   });
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (OrderedTask& t : tasks) {
+      // LPT: the next-longest task goes to the worker with the least
+      // estimated load so far (ties to the lowest index).
+      std::size_t target = 0;
+      for (std::size_t w = 1; w < deques_.size(); ++w) {
+        if (deque_cost_[w] < deque_cost_[target]) target = w;
+      }
+      deque_cost_[target] += t.cost;
+      deques_[target].push_back(DequeTask{t.cost, std::move(t.fn)});
+      ++submitted_;
+    }
+  }
+  work_cv_.notify_all();
 }
 
-void JobScheduler::worker_loop() {
+void JobScheduler::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return all_empty() && active_ == 0; });
+}
+
+SchedulerStats JobScheduler::stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  SchedulerStats s;
+  s.submitted = submitted_;
+  s.executed = executed_;
+  s.steals = steals_;
+  s.workers = utilization_;
+  return s;
+}
+
+bool JobScheduler::all_empty() const {
+  if (!queue_.empty()) return false;
+  for (const auto& d : deques_) {
+    if (!d.empty()) return false;
+  }
+  return true;
+}
+
+bool JobScheduler::try_pop(std::size_t index, std::function<void()>* task,
+                           bool* stolen) {
+  *stolen = false;
+  std::deque<DequeTask>& own = deques_[index];
+  if (!own.empty()) {
+    *task = std::move(own.front().fn);
+    deque_cost_[index] -= own.front().cost;
+    own.pop_front();
+    return true;
+  }
+  if (!queue_.empty()) {
+    *task = std::move(queue_.front());
+    queue_.pop_front();
+    return true;
+  }
+  // Steal from the back of the co-worker with the most estimated work left;
+  // it keeps draining its front undisturbed.
+  std::size_t victim = index;
+  std::uint64_t best = 0;
+  for (std::size_t w = 0; w < deques_.size(); ++w) {
+    if (w == index || deques_[w].empty()) continue;
+    if (victim == index || deque_cost_[w] > best) {
+      victim = w;
+      best = deque_cost_[w];
+    }
+  }
+  if (victim == index) return false;
+  DequeTask& back = deques_[victim].back();
+  *task = std::move(back.fn);
+  deque_cost_[victim] -= back.cost;
+  deques_[victim].pop_back();
+  *stolen = true;
+  return true;
+}
+
+void JobScheduler::worker_loop(std::size_t index) {
   for (;;) {
     std::function<void()> task;
+    bool stolen = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      // Pop before consulting stopping_ so destruction still drains every
+      // queued task (the predicate's side effect hands the task out).
+      work_cv_.wait(lock, [this, index, &task, &stolen] {
+        return try_pop(index, &task, &stolen) || stopping_;
+      });
+      if (!task) return;  // stopping and drained
       ++active_;
+      if (stolen) ++steals_;
     }
+    const auto start = std::chrono::steady_clock::now();
     try {
       task();
     } catch (...) {
-      // Batch tasks catch their own exceptions; swallow strays so one bad
-      // task cannot take the worker (and every queued job behind it) down.
+      // Callers catch their own exceptions; swallow strays so one bad task
+      // cannot take the worker (and every queued job behind it) down.
     }
+    const double busy =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
     {
       std::unique_lock<std::mutex> lock(mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+      ++executed_;
+      WorkerUtilization& u = utilization_[index];
+      ++u.tasks;
+      if (stolen) ++u.steals;
+      u.busy_seconds += busy;
+      if (all_empty() && active_ == 0) idle_cv_.notify_all();
     }
   }
 }

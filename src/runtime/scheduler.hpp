@@ -1,19 +1,37 @@
 /// \file scheduler.hpp
-/// \brief Fixed thread pool executing whole-flow synthesis jobs.
+/// \brief Fixed thread pool executing whole-flow synthesis jobs, with an
+/// optional cost-ordered dispatch path and work stealing.
 ///
-/// The pool is deliberately simple: a FIFO queue, N worker threads, and a
-/// wait-for-idle barrier. Everything a job touches is job-private (each
+/// Two submission paths share one pool of N workers:
+///
+///  - `submit` — the legacy FIFO path: tasks land in a shared injection
+///    queue and run in dispatch order. Used by the batch runtime and the
+///    intra-flow engines, whose tasks are uniform enough that ordering does
+///    not matter.
+///  - `submit_ordered` — the windowed engine's path: each task carries an
+///    estimated cost, the batch is sorted by cost descending (stable, so
+///    equal costs keep submission order) and dealt LPT-greedily onto
+///    per-worker deques — the longest tasks start first and the estimated
+///    load is balanced up front. A worker drained of its own deque pulls
+///    from the shared queue, then *steals* from the back of the co-worker
+///    with the most estimated work left, so misestimated stragglers cannot
+///    leave the tail of the schedule idle.
+///
+/// Neither path makes results schedule-dependent: callers slot outcomes by
+/// task index (see part/windowed.cpp), so ordering and stealing only move
+/// wall-clock, never output. Everything a job touches is job-private (each
 /// `core::run_flow` invocation constructs its own `bdd::Manager` on the
 /// worker thread that runs it — the single-threaded BDD package is never
-/// shared); the only shared mutable state in a batch is the NPN result cache,
-/// which synchronizes internally. Tasks must not throw: the batch layer
-/// catches job exceptions and records them in the job's report. As a
-/// backstop, an escaping exception terminates the task but not the worker.
+/// shared); the only shared mutable state in a batch is the NPN result
+/// cache, which synchronizes internally. Tasks must not throw: callers
+/// catch job exceptions and record them per index. As a backstop, an
+/// escaping exception terminates the task but not the worker.
 
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -21,6 +39,29 @@
 #include <vector>
 
 namespace hyde::runtime {
+
+/// One cost-annotated task for the ordered dispatch path.
+struct OrderedTask {
+  /// Estimated cost in arbitrary units (the windowed engine uses node count
+  /// x support width). Only the relative order matters.
+  std::uint64_t cost = 0;
+  std::function<void()> fn;
+};
+
+/// Per-worker execution figures (volatile: they move with scheduling).
+struct WorkerUtilization {
+  std::uint64_t tasks = 0;     ///< tasks this worker executed
+  std::uint64_t steals = 0;    ///< tasks it stole from a co-worker's deque
+  double busy_seconds = 0.0;   ///< wall-clock spent inside tasks
+};
+
+/// Point-in-time scheduler counters (see JobScheduler::stats).
+struct SchedulerStats {
+  std::uint64_t submitted = 0;  ///< tasks accepted on either path
+  std::uint64_t executed = 0;   ///< tasks completed
+  std::uint64_t steals = 0;     ///< cross-deque steals (ordered path only)
+  std::vector<WorkerUtilization> workers;
+};
 
 class JobScheduler {
  public:
@@ -37,18 +78,44 @@ class JobScheduler {
   /// Enqueues a task; runs on some worker in FIFO dispatch order.
   void submit(std::function<void()> task);
 
-  /// Blocks until the queue is empty and no task is running.
+  /// Enqueues a batch of cost-annotated tasks: stable-sorted by cost
+  /// descending and assigned LPT-greedily (each task to the worker with the
+  /// least estimated load so far), so stragglers start first. Workers that
+  /// drain their own deque steal from the most-loaded co-worker.
+  void submit_ordered(std::vector<OrderedTask> tasks);
+
+  /// Blocks until every queue and deque is empty and no task is running.
   void wait_idle();
 
+  /// Cumulative execution counters (safe to call while idle or busy).
+  SchedulerStats stats() const;
+
  private:
-  void worker_loop();
+  /// One pending task on a worker deque: the cost travels along so steal
+  /// victims can be chosen by estimated remaining work.
+  struct DequeTask {
+    std::uint64_t cost = 0;
+    std::function<void()> fn;
+  };
+
+  void worker_loop(std::size_t index);
+  /// Pops the next task for worker \p index (own deque front, shared queue,
+  /// then steal from the back of the most-loaded co-worker). Requires mu_.
+  bool try_pop(std::size_t index, std::function<void()>* task, bool* stolen);
+  bool all_empty() const;  // requires mu_
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
+  std::deque<std::function<void()>> queue_;  ///< shared FIFO injection queue
+  std::vector<std::deque<DequeTask>> deques_;  ///< per-worker ordered tasks
+  std::vector<std::uint64_t> deque_cost_;      ///< estimated work left per deque
+  std::vector<WorkerUtilization> utilization_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
   std::size_t active_ = 0;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t executed_ = 0;
+  std::uint64_t steals_ = 0;
   bool stopping_ = false;
 };
 

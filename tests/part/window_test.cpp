@@ -10,7 +10,9 @@
 
 #include "gtest/gtest.h"
 #include "mcnc/benchmarks.hpp"
+#include "net/blif.hpp"
 #include "net/network.hpp"
+#include "tt/truth_table.hpp"
 
 namespace hyde::part {
 namespace {
@@ -227,6 +229,49 @@ TEST(WindowTest, SubnetworkMatchesHostOnRandomVectors) {
       }
     }
   }
+}
+
+TEST(WindowTest, SnapshotMaterializesTheExactSubnetwork) {
+  // The plain-data snapshot must reproduce window_subnetwork bit for bit —
+  // same names, wiring, functions and output order — since the windowed
+  // engine materializes it on worker threads in place of a host extraction.
+  const net::Network network = mcnc::make_circuit("rd84");
+  WindowOptions options;
+  options.max_inputs = 6;
+  options.max_nodes = 16;
+  const std::vector<Window> windows = extract_windows(network, options);
+  ASSERT_FALSE(windows.empty());
+  for (const Window& w : windows) {
+    WindowSnapshot snapshot;
+    ASSERT_TRUE(snapshot_window(network, w, &snapshot));
+    EXPECT_EQ(snapshot.input_names.size(), w.inputs.size());
+    EXPECT_EQ(snapshot.members.size(), w.members.size());
+    EXPECT_EQ(snapshot.roots.size(), w.roots.size());
+    const net::Network from_snapshot = materialize_snapshot(snapshot);
+    const net::Network from_host = window_subnetwork(network, w);
+    EXPECT_EQ(net::write_blif_string(from_snapshot),
+              net::write_blif_string(from_host));
+  }
+}
+
+TEST(WindowTest, SnapshotRefusesMembersTooWideForATruthTable) {
+  // A member past tt::TruthTable::kMaxVars fanins cannot be captured as a
+  // table; the engine must fall back to a prebuilt window_subnetwork clone.
+  const int width = tt::TruthTable::kMaxVars + 1;
+  net::Network n("toowide");
+  std::vector<net::NodeId> pis;
+  for (int i = 0; i < width; ++i) {
+    pis.push_back(n.add_input("i" + std::to_string(i)));
+  }
+  n.manager().ensure_vars(width);
+  bdd::Bdd f = n.manager().one();
+  for (int i = 0; i < width; ++i) f = f & n.manager().var(i);
+  const auto g = n.add_logic("g", pis, std::move(f));
+  n.add_output("y", g);
+  const std::vector<Window> windows = extract_windows(n, WindowOptions{});
+  ASSERT_EQ(windows.size(), 1u);
+  WindowSnapshot snapshot;
+  EXPECT_FALSE(snapshot_window(n, windows[0], &snapshot));
 }
 
 TEST(WindowTest, MakeWindowSplitHalvesStayStitchable) {

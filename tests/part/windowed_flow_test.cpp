@@ -12,6 +12,7 @@
 #include "mcnc/benchmarks.hpp"
 #include "net/blif.hpp"
 #include "net/verify.hpp"
+#include "tt/truth_table.hpp"
 
 namespace hyde::part {
 namespace {
@@ -128,6 +129,91 @@ TEST(WindowedFlowTest, StatsArePipedThroughBaseline) {
   EXPECT_LE(result.stats.window_peak_inputs, 10);
   EXPECT_TRUE(result.network.is_k_feasible(5));
   EXPECT_GT(result.clbs, 0);
+}
+
+TEST(WindowedFlowTest, SplitFallbackIsBitIdenticalAtEveryThreadCount) {
+  // The split path re-extracts from the worker's materialized sub-network,
+  // never the host; a budget tight enough to force splits must still give
+  // the same stitched BLIF at threads 1, 2, 4 and 8.
+  const net::Network input = mcnc::random_multilevel(
+      "splitmatrix", /*num_inputs=*/20, /*num_outputs=*/5, /*num_nodes=*/90,
+      /*min_arity=*/4, /*max_arity=*/8, /*seed=*/3);
+  std::string reference_blif;
+  int reference_splits = 0;
+  for (int threads : {1, 2, 4, 8}) {
+    WindowedFlowOptions options = engine_options(12, 48, threads);
+    options.window_bdd_budget = 2000;
+    options.max_split_depth = 4;
+    const WindowedFlowResult result = run_windowed_flow(input, options);
+    if (threads == 1) {
+      EXPECT_TRUE(net::check_equivalence(input, result.network).equivalent);
+      ASSERT_GT(result.stats.windows_split, 0)
+          << "budget no longer forces the split path; tighten it";
+      reference_blif = net::write_blif_string(result.network);
+      reference_splits = result.stats.windows_split;
+      continue;
+    }
+    EXPECT_EQ(net::write_blif_string(result.network), reference_blif)
+        << "diverges at threads=" << threads;
+    EXPECT_EQ(result.stats.windows_split, reference_splits);
+  }
+}
+
+TEST(WindowedFlowTest, SchedulerSkippedWhenOnlyOneWindowNeedsWork) {
+  // One wide node == one resynthesis task: --window-threads auto-clamps to
+  // the workload, so even threads=8 takes the serial path (no scheduler, no
+  // worker-side materialization).
+  net::Network input("one_wide");
+  std::vector<net::NodeId> fanins;
+  for (char c = 'a'; c < 'a' + 7; ++c) {
+    fanins.push_back(input.add_input(std::string(1, c)));
+  }
+  tt::TruthTable parity = tt::TruthTable::zeros(7);
+  for (int v = 0; v < 7; ++v) parity ^= tt::TruthTable::var(7, v);
+  const net::NodeId wide = input.add_logic_tt("wide", fanins, parity);
+  input.add_output("f", wide);
+
+  WindowedFlowResult result = run_windowed_flow(input, engine_options(8, 32, 8));
+  EXPECT_EQ(result.stats.windows_resynthesized, 1);
+  EXPECT_EQ(result.stats.window_workers, 0);
+  EXPECT_EQ(result.stats.windows_extract_parallel, 0);
+  EXPECT_EQ(result.stats.window_steals, 0u);
+  EXPECT_TRUE(net::check_equivalence(input, result.network).equivalent);
+
+  const WindowedFlowResult serial =
+      run_windowed_flow(input, engine_options(8, 32, 1));
+  EXPECT_EQ(net::write_blif_string(result.network),
+            net::write_blif_string(serial.network));
+}
+
+TEST(WindowedFlowTest, SchedulingTelemetryReflectsTheParallelPath) {
+  // Wide-arity nodes throughout, small windows: many resynthesis tasks, so
+  // threads=4 genuinely exercises the scheduler.
+  const net::Network input = mcnc::random_multilevel(
+      "telemetry", /*num_inputs=*/20, /*num_outputs=*/5, /*num_nodes=*/80,
+      /*min_arity=*/6, /*max_arity=*/8, /*seed=*/5);
+  const WindowedFlowResult serial =
+      run_windowed_flow(input, engine_options(10, 40, 1));
+  ASSERT_GT(serial.stats.windows_resynthesized, 1)
+      << "workload no longer yields multiple resynthesis tasks";
+  EXPECT_EQ(serial.stats.window_workers, 0);
+  EXPECT_EQ(serial.stats.windows_extract_parallel, 0);
+  // The slowest-window high-water mark is tracked on both paths.
+  EXPECT_GT(serial.stats.window_max_seconds, 0.0);
+  EXPECT_GE(serial.stats.window_max_index, 0);
+  EXPECT_LT(serial.stats.window_max_index, serial.stats.windows_extracted);
+
+  const WindowedFlowResult parallel =
+      run_windowed_flow(input, engine_options(10, 40, 4));
+  EXPECT_GT(parallel.stats.window_workers, 0);
+  EXPECT_LE(parallel.stats.window_workers, 4);
+  EXPECT_GT(parallel.stats.windows_extract_parallel, 0);
+  EXPECT_LE(parallel.stats.windows_extract_parallel,
+            parallel.stats.windows_extracted);
+  EXPECT_GT(parallel.stats.window_worker_busy_seconds, 0.0);
+  EXPECT_GE(parallel.stats.window_worker_busy_seconds,
+            parallel.stats.window_worker_busy_peak_seconds);
+  EXPECT_GE(parallel.stats.window_max_index, 0);
 }
 
 TEST(WindowedFlowTest, WindowCountersAreThreadInvariant) {

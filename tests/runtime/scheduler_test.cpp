@@ -8,7 +8,11 @@
 #include "runtime/scheduler.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -57,6 +61,96 @@ TEST(JobSchedulerTest, DestructorDrainsQueuedWork) {
     }
   }
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(JobSchedulerTest, OrderedSubmitRunsEveryTaskAndAccountsForAll) {
+  std::atomic<int> counter{0};
+  JobScheduler pool(3);
+  std::vector<OrderedTask> tasks;
+  for (int i = 0; i < 60; ++i) {
+    tasks.push_back(OrderedTask{static_cast<std::uint64_t>(i % 7),
+                                [&counter] { counter.fetch_add(1); }});
+  }
+  pool.submit_ordered(std::move(tasks));
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 60);
+
+  const SchedulerStats stats = pool.stats();
+  EXPECT_EQ(stats.submitted, 60u);
+  EXPECT_EQ(stats.executed, 60u);
+  ASSERT_EQ(stats.workers.size(), 3u);
+  std::uint64_t worker_tasks = 0;
+  std::uint64_t worker_steals = 0;
+  for (const WorkerUtilization& u : stats.workers) {
+    worker_tasks += u.tasks;
+    worker_steals += u.steals;
+    EXPECT_GE(u.busy_seconds, 0.0);
+  }
+  EXPECT_EQ(worker_tasks, 60u);
+  EXPECT_EQ(worker_steals, stats.steals);
+}
+
+TEST(JobSchedulerTest, ForcedStealsStillFillEveryOutcomeSlotExactlyOnce) {
+  // Lie to the scheduler: one "expensive" instant task pins worker A's
+  // deque, many "cheap" slow tasks pile onto worker B. A drains instantly
+  // and must steal from B's back to stay busy. Outcomes land in per-index
+  // slots, so the result is identical no matter who ran what.
+  JobScheduler pool(2);
+  constexpr int kSlow = 8;
+  std::vector<std::atomic<int>> hits(kSlow + 1);
+  for (auto& h : hits) h.store(0);
+  std::vector<OrderedTask> tasks;
+  tasks.push_back(OrderedTask{1000, [&hits] { hits[0].fetch_add(1); }});
+  for (int i = 1; i <= kSlow; ++i) {
+    tasks.push_back(OrderedTask{10, [&hits, i] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    }});
+  }
+  pool.submit_ordered(std::move(tasks));
+  pool.wait_idle();
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  const SchedulerStats stats = pool.stats();
+  EXPECT_EQ(stats.executed, static_cast<std::uint64_t>(kSlow) + 1);
+  EXPECT_GE(stats.steals, 1u);
+}
+
+TEST(JobSchedulerTest, ThrowingOrderedTaskDoesNotKillItsWorker) {
+  std::atomic<int> counter{0};
+  JobScheduler pool(2);
+  std::vector<OrderedTask> tasks;
+  for (int i = 0; i < 20; ++i) {
+    if (i % 5 == 0) {
+      tasks.push_back(OrderedTask{5, [] { throw std::runtime_error("boom"); }});
+    } else {
+      tasks.push_back(OrderedTask{5, [&counter] { counter.fetch_add(1); }});
+    }
+  }
+  pool.submit_ordered(std::move(tasks));
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 16);
+  EXPECT_EQ(pool.stats().executed, 20u);
+
+  // Every worker survived the strays and keeps taking work on both paths.
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.submit_ordered({OrderedTask{1, [&counter] { counter.fetch_add(1); }}});
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 18);
+}
+
+TEST(JobSchedulerTest, FifoAndOrderedPathsShareOnePool) {
+  std::atomic<int> counter{0};
+  JobScheduler pool(2);
+  std::vector<OrderedTask> tasks;
+  for (int i = 0; i < 10; ++i) {
+    tasks.push_back(OrderedTask{static_cast<std::uint64_t>(10 - i),
+                                [&counter] { counter.fetch_add(1); }});
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.submit_ordered(std::move(tasks));
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 20);
+  EXPECT_EQ(pool.stats().submitted, 20u);
 }
 
 TEST(BatchDeterminismTest, OneWorkerAndFourWorkersAgreeBitForBit) {

@@ -1,0 +1,11 @@
+// Fixture: the mutex parameter was deleted when extraction moved to
+// snapshots, but the locked-region annotation was left behind.
+#include <mutex>
+
+int count_nodes(const Network& host) {
+  int n = 0;
+  {  // hyde-locked(host_mutex)
+    n += host.node_count();
+  }
+  return n;
+}

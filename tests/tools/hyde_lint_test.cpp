@@ -242,6 +242,19 @@ TEST(HydeLintTest, LockDisciplineEscapesAreClean) {
   EXPECT_TRUE(summarize(diags).empty());
 }
 
+TEST(HydeLintTest, StaleLockMarkerForARemovedMutexIsFlagged) {
+  // The annotated region survived the deletion of the mutex it documented
+  // (the windowed engine's old host_mutex): nothing in the file names the
+  // mutex any more, so the marker is a stale waiver and must be pruned.
+  const auto diags = lint_content("src/part/fake.cpp",
+                                  fixture("lock_discipline_stale.cpp"), {});
+  const auto got = summarize(diags);
+  const std::vector<std::pair<int, std::string>> want = {
+      {7, "lock-discipline"},  // hyde-locked(host_mutex) with no host_mutex
+  };
+  EXPECT_EQ(got, want);
+}
+
 TEST(HydeLintTest, LockDisciplineOnlyArmsInConcurrentEngineDirectories) {
   const auto diags = lint_content("src/mapper/fake.cpp",
                                   fixture("lock_discipline_bad.cpp"), {});

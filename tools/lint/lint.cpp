@@ -479,6 +479,29 @@ void check_lock_discipline(const LexedFile& lexed,
     }
   }
 
+  // Stale markers: a region annotated for a mutex that no longer exists
+  // anywhere in the file protects nothing — the lock it documents was
+  // removed (the windowed engine's host_mutex, say) and the leftover marker
+  // only waives real findings. Flag it so the region and any waivers naming
+  // that mutex get pruned along with the lock.
+  for (const MarkerRegion& r : regions) {
+    if (r.arg.empty()) continue;
+    bool mutex_exists = false;
+    for (const Token& t : tokens) {
+      if (ident(t) && t.text == r.arg) {
+        mutex_exists = true;
+        break;
+      }
+    }
+    if (!mutex_exists) {
+      report(r.marker_line, "lock-discipline",
+             "hyde-locked(" + r.arg + ") names a mutex that does not exist "
+                 "in this file",
+             "the lock was removed; delete the stale marker (and any "
+             "waivers that reference " + r.arg + ")");
+    }
+  }
+
   for (const FunctionInfo& fn : functions) {
     const std::vector<std::string> params =
         parameter_names(tokens, fn.params_begin, fn.params_end);
